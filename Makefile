@@ -1,0 +1,28 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench experiments examples all clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	repro-experiments
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		python $$script || exit 1; \
+		echo; \
+	done
+
+all: test bench experiments
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,19 @@
+"""Section 3.3 ablation: freeze strategy vs quorum strategy while one
+manager is partitioned from its peers."""
+
+from repro.experiments import ablations
+
+
+def test_freeze_vs_quorum(benchmark, show):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    show(result)
+    cells = {
+        (row["strategy"], row["phase"]): row["availability"]
+        for row in result.as_dicts()
+    }
+    # Quorum rides through the manager partition untouched.
+    assert cells[("quorum (C=2)", "during")] == 1.0
+    # Freeze collapses availability for the duration, then recovers.
+    assert cells[("freeze (Ti=30)", "before")] == 1.0
+    assert cells[("freeze (Ti=30)", "during")] == 0.0
+    assert cells[("freeze (Ti=30)", "after")] == 1.0

@@ -1,0 +1,41 @@
+"""The paper's protocol vs the alternative designs (Section 3 options
+and the Section 4.2 related systems) under an identical flaky WAN.
+
+The shape that must hold: the paper's protocol is the only design with
+both high availability and zero Te violations; full replication and
+temporal-auth violate the bound, local-only pays with availability."""
+
+from repro.experiments import baselines
+
+
+def test_baseline_comparison(benchmark, show):
+    result = benchmark.pedantic(
+        baselines.run,
+        kwargs=dict(seed=0, duration=1500.0),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = {row["system"]: row for row in result.as_dicts()}
+
+    paper = rows["paper (cached quorum)"]
+    assert paper["Te VIOLATIONS"] == 0
+    assert paper["availability"] > 0.9
+
+    # Designs without expiry can violate the bound under partitions.
+    assert rows["full replication"]["Te VIOLATIONS"] > 0
+    assert rows["temporal auth"]["Te VIOLATIONS"] > 0
+
+    # Local-only trades availability for its consistency.
+    assert rows["local only"]["availability"] < paper["availability"]
+    # ...and pays the highest per-access message cost.
+    assert rows["local only"]["ctrl msg/s"] > paper["ctrl msg/s"]
+
+    # Temporal auth lets far more revoked accesses through than the
+    # paper's protocol (lease >> Te).
+    stale_paper = paper["stale allows <= Te"] + paper["Te VIOLATIONS"]
+    stale_lease = (
+        rows["temporal auth"]["stale allows <= Te"]
+        + rows["temporal auth"]["Te VIOLATIONS"]
+    )
+    assert stale_lease > 5 * max(1, stale_paper)

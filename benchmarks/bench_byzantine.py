@@ -1,0 +1,24 @@
+"""Extension experiment: footnote 2 — lying managers.  The crash-only
+combine falls to one liar; f+1 vouching restores security without
+costing legitimate users."""
+
+from repro.experiments import byzantine
+
+
+def test_byzantine(benchmark, show):
+    result = benchmark.pedantic(
+        byzantine.run, kwargs=dict(trials=40, seed=0), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {row["configuration"]: row for row in result.as_dicts()}
+    assert rows["crash-only combine, honest"]["fabricated grants accepted"] == 0.0
+    assert rows["crash-only combine, 1 liar"]["fabricated grants accepted"] == 1.0
+    assert rows["f=1 vouching, 1 liar"]["fabricated grants accepted"] == 0.0
+    assert rows["f=1 vouching, 2 colluding liars"][
+        "fabricated grants accepted"
+    ] == 1.0
+    assert rows["f=2 vouching, 2 colluding liars"][
+        "fabricated grants accepted"
+    ] == 0.0
+    for row in result.as_dicts():
+        assert row["legitimate grants accepted"] == 1.0

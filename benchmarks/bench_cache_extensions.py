@@ -1,0 +1,23 @@
+"""Extension ablation: refresh-ahead hides the periodic miss latency;
+negative caching sheds unauthorized query load."""
+
+from repro.experiments import cache_extensions
+
+
+def test_cache_extensions(benchmark, show):
+    result = benchmark.pedantic(
+        cache_extensions.run, kwargs=dict(seed=0), rounds=1, iterations=1
+    )
+    show(result)
+    rows = {
+        (row["extension"], row["state"]): row for row in result.as_dicts()
+    }
+    # Refresh-ahead: p99 collapses from ~1 RTT to ~0.
+    off_p99 = float(rows[("refresh-ahead", "off")]["metric 2"].split()[1])
+    on_p99 = float(rows[("refresh-ahead", "on")]["metric 2"].split()[1])
+    assert off_p99 > 50.0
+    assert on_p99 < 5.0
+    # Deny-cache: query traffic drops by an order of magnitude.
+    off_queries = int(rows[("deny-cache", "off")]["traffic"].split()[0])
+    on_queries = int(rows[("deny-cache", "on")]["traffic"].split()[0])
+    assert on_queries * 10 < off_queries

@@ -1,0 +1,18 @@
+"""Reproduces paper Figure 5: the PA/PS curves against the check
+quorum C, including the qualitative claims (low security at C=1, low
+availability at C=M, a wide sweet spot around M/2)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, show):
+    result = benchmark(figure5.run, m=10, pi=0.1)
+    show(result)
+    rows = {row["C"]: row for row in result.as_dicts()}
+    assert rows[1]["PS(C)"] < 0.4
+    assert rows[10]["PA(C)"] < 0.4
+    sweet = [
+        c for c in range(1, 11)
+        if rows[c]["PA(C)"] > 0.98 and rows[c]["PS(C)"] > 0.98
+    ]
+    assert 5 in sweet and len(sweet) >= 4

@@ -1,0 +1,24 @@
+"""Section 4.1 cost model: per-access delay — ~0 on a cache hit, O(C)
+on a miss (sequential strategy), O(R) when managers are unreachable."""
+
+from repro.experiments import latency
+
+
+def test_latency_scaling(benchmark, show):
+    result = benchmark.pedantic(latency.run, rounds=1, iterations=1)
+    show(result)
+    rows = result.as_dicts()
+    for row in rows:
+        assert abs(row["measured s"] - row["predicted s"]) < 0.02, row
+    sequential = {
+        row["C"]: row["measured s"]
+        for row in rows
+        if row["scenario"] == "miss/sequential"
+    }
+    assert sequential[5] > sequential[1] * 4  # the literal O(C)
+    unreachable = {
+        row["R"]: row["measured s"]
+        for row in rows
+        if row["scenario"] == "unreachable"
+    }
+    assert unreachable[8] > unreachable[1] * 7  # the O(R) worst case

@@ -1,0 +1,92 @@
+"""Microbenchmarks of the substrate and the protocol hot paths.
+
+Not a paper artifact — these quantify the simulator itself so that
+regressions in the event loop or the check path are visible.
+"""
+
+from repro.core.policy import AccessPolicy
+from repro.core.rights import Right
+from repro.core.system import AccessControlSystem
+from repro.sim.engine import Environment
+from repro.sim.network import FixedLatency
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run cost of 10k timeout events."""
+
+    def run_events():
+        env = Environment()
+        for i in range(10_000):
+            env.timeout(i * 0.001)
+        env.run()
+        return env.now
+
+    result = benchmark(run_events)
+    assert result > 0
+
+
+def test_engine_process_switching(benchmark):
+    """Two processes ping-ponging through 5k events."""
+
+    def run_processes():
+        env = Environment()
+
+        def worker():
+            for _ in range(2_500):
+                yield env.timeout(0.01)
+
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        return env.now
+
+    benchmark(run_processes)
+
+
+def test_cached_access_check_throughput(benchmark):
+    """Figure 3 fast path: checks served from ACL_cache(A)."""
+    system = AccessControlSystem(
+        n_managers=3,
+        n_hosts=1,
+        policy=AccessPolicy(check_quorum=2, expiry_bound=1e9),
+        latency=FixedLatency(0.01),
+        clock_drift=False,
+    )
+    system.seed_grant("app", "u")
+    host = system.hosts[0]
+    warm = host.request_access("app", "u")
+    system.run(until=5.0)
+    assert warm.value.allowed
+
+    def thousand_cache_hits():
+        for _ in range(1_000):
+            process = host.request_access("app", "u")
+        system.run(until=system.env.now + 1.0)
+        return process.value
+
+    decision = benchmark(thousand_cache_hits)
+    assert decision.reason == "cache"
+
+
+def test_verified_access_check_round(benchmark):
+    """Full quorum verification round (miss -> 3 queries -> decide)."""
+    system = AccessControlSystem(
+        n_managers=3,
+        n_hosts=1,
+        policy=AccessPolicy(check_quorum=2, expiry_bound=1e9),
+        latency=FixedLatency(0.01),
+        clock_drift=False,
+    )
+    host = system.hosts[0]
+    counter = [0]
+
+    def verified_check():
+        counter[0] += 1
+        user = f"u{counter[0]}"
+        system.seed_grant("app", user)
+        process = host.request_access("app", user)
+        system.run(until=system.env.now + 1.0)
+        return process.value
+
+    decision = benchmark(verified_check)
+    assert decision.allowed and decision.reason == "verified"

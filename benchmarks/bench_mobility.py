@@ -1,0 +1,30 @@
+"""Extension experiment: footnote 1's mobile clients — availability vs
+disconnected fraction for strict, long-Te, and default-allow policies."""
+
+from repro.experiments import mobility
+
+
+def test_mobility(benchmark, show):
+    result = benchmark.pedantic(
+        mobility.run,
+        kwargs=dict(fractions=(0.1, 0.3, 0.5), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    cells = {
+        (row["policy"], row["disconnected fraction"]): row["availability"]
+        for row in result.as_dicts()
+    }
+    # Strict availability degrades with the disconnected fraction...
+    assert cells[("strict (Te=30)", 0.1)] > cells[("strict (Te=30)", 0.5)]
+    assert cells[("strict (Te=30)", 0.5)] < 0.8
+    # ...a long cache bridges most disconnections...
+    for fraction in (0.1, 0.3, 0.5):
+        assert (
+            cells[("long cache (Te=300)", fraction)]
+            >= cells[("strict (Te=30)", fraction)]
+        )
+    # ...and Figure 4's rule buys full availability.
+    for fraction in (0.1, 0.3, 0.5):
+        assert cells[("default-allow (Te=30)", fraction)] == 1.0

@@ -1,0 +1,24 @@
+"""Section 4.1 cost model: steady-state overhead is O(C/Te).
+
+Measures control-message rates for a C x Te sweep against the
+``users * 2C / te`` prediction."""
+
+from repro.experiments import overhead
+
+
+def test_overhead_oc_over_te(benchmark, show):
+    result = benchmark.pedantic(
+        overhead.run,
+        kwargs=dict(cs=(1, 2, 4), tes=(30.0, 60.0, 120.0), seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = result.as_dicts()
+    for row in rows:
+        assert abs(row["ratio"] - 1.0) < 0.15, row
+    by_key = {(row["C"], row["Te"]): row["measured msg/s"] for row in rows}
+    # O(C): doubling C doubles traffic at fixed Te.
+    assert abs(by_key[(2, 60.0)] / by_key[(1, 60.0)] - 2.0) < 0.3
+    # O(1/Te): doubling Te halves traffic at fixed C.
+    assert abs(by_key[(2, 30.0)] / by_key[(2, 60.0)] - 2.0) < 0.3

@@ -1,0 +1,21 @@
+"""sim_table1: runs the real protocol over i.i.d. Bernoulli(Pi)
+partitions and checks the analytic Table 1 values fall inside the
+simulated Wilson intervals.  One timed round — the workload itself is
+the benchmark."""
+
+from repro.experiments import validation
+
+
+def test_sim_table1(benchmark, show):
+    result = benchmark.pedantic(
+        validation.run,
+        kwargs=dict(m=10, cs=(1, 3, 5, 7, 10), pis=(0.1, 0.2),
+                    trials=300, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    eps = 1e-9
+    for row in result.as_dicts():
+        assert row["PA ci-low"] - eps <= row["PA analytic"] <= row["PA ci-high"] + eps, row
+        assert row["PS ci-low"] - eps <= row["PS analytic"] <= row["PS ci-high"] + eps, row

@@ -1,0 +1,19 @@
+"""Reproduces paper Table 1: effects of C on availability and security.
+
+The values are exact binomials and must equal the paper's printed
+numbers; the benchmark times the full table generation.
+"""
+
+from repro.experiments import table1
+from repro.experiments.table1 import PAPER_TABLE1
+
+
+def test_table1(benchmark, show):
+    result = benchmark(table1.run)
+    show(result)
+    rows = {row["C"]: row for row in result.as_dicts()}
+    for c, (pa1, ps1, pa2, ps2) in PAPER_TABLE1.items():
+        assert round(rows[c]["PA(C) Pi=0.1"], 5) == pa1
+        assert round(rows[c]["PS(C) Pi=0.1"], 5) == ps1
+        assert round(rows[c]["PA(C) Pi=0.2"], 5) == pa2
+        assert round(rows[c]["PS(C) Pi=0.2"], 5) == ps2

@@ -1,0 +1,16 @@
+"""Reproduces paper Table 2: effects of M and C on availability and
+security (fixed-C half and scaled-C half)."""
+
+from repro.experiments import table2
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+def test_table2(benchmark, show):
+    result = benchmark(table2.run)
+    show(result)
+    for row in result.as_dicts():
+        pa1, ps1, pa2, ps2 = PAPER_TABLE2[(row["M"], row["C"])]
+        assert round(row["PA(C) Pi=0.1"], 5) == pa1
+        assert round(row["PS(C) Pi=0.1"], 5) == ps1
+        assert round(row["PA(C) Pi=0.2"], 5) == pa2
+        assert round(row["PS(C) Pi=0.2"], 5) == ps2

@@ -1,0 +1,25 @@
+"""Extension ablation: weighted voting vs the paper's count quorums
+when one manager is markedly less reachable (Section 4.1's
+heterogeneity discussion carried one step further)."""
+
+from repro.experiments import weighted
+
+
+def test_weighted_quorums(benchmark, show):
+    result = benchmark.pedantic(
+        weighted.run,
+        kwargs=dict(m=5, base_pi=0.1, flaky_pi=0.45),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    rows = {row["scheme"]: row for row in result.as_dicts()}
+    unit = rows["unit weights (paper)"]["min(PA, PS)"]
+    optimal = rows["optimal weights <= 3"]["min(PA, PS)"]
+    removed = rows["remove flaky (M-1)"]["min(PA, PS)"]
+    # Weighted voting at least matches counts (counts are in its space)...
+    assert optimal >= unit - 1e-12
+    # ...and actually improves here thanks to finer threshold splits.
+    assert optimal > unit + 1e-4
+    # Dropping the flaky manager outright is worse than keeping it.
+    assert removed < unit

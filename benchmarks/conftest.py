@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper (see
+DESIGN.md's experiment index): it prints the reproduced rows once per
+session and times the generation under pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print an experiment result once, set off from benchmark output."""
+
+    def _show(result) -> None:
+        print()
+        print(result.render())
+        print()
+
+    return _show

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A mobile subscriber — the paper's footnote 1 in action.
+
+"Although we focus here on wired networks, similar problems exist in
+mobile computing systems, so our solutions could be applied in this
+context as well."
+
+A commuter's device hosts the newspaper's edge reader (the application
+host) and drops off the network whenever the train enters a tunnel.
+The script contrasts the subscriber's experience under a strict policy
+and under Figure 4's default-allow rule, and then shows the flip side:
+after the subscription is cancelled mid-tunnel, the strict policy cuts
+reading off at the cache's Te bound while default-allow keeps serving.
+
+Run:  python examples/mobile_subscriber.py
+"""
+
+from repro.apps import OnlineNewspaper
+from repro.core import AccessPolicy, Right
+from repro.core.policy import ExhaustedAction
+from repro.core.system import AccessControlSystem
+from repro.sim import DutyCycleModel, FixedLatency
+
+
+def ride(policy: AccessPolicy, label: str, seed: int = 4) -> None:
+    # The device is connected ~70% of the time (tunnels, dead zones).
+    connectivity = DutyCycleModel(
+        targets=("h0",), mean_connected=70.0, mean_disconnected=30.0
+    )
+    system = AccessControlSystem(
+        n_managers=3,
+        n_hosts=1,
+        applications=("newspaper",),
+        policy=policy,
+        connectivity=connectivity,
+        latency=FixedLatency(0.08),
+        seed=seed,
+    )
+    device = system.hosts[0]
+    paper = OnlineNewspaper()
+    device.deploy(paper)
+    system.seed_grant("newspaper", "commuter", Right.USE)
+
+    reads = []
+    post_cancel_reads = []
+    cancel_at = 600.0
+
+    def reader():
+        while system.env.now < 1200.0:
+            started = system.env.now
+            decision = yield device.request_access("newspaper", "commuter")
+            record = (started, decision.allowed)
+            if started < cancel_at:
+                reads.append(record)
+            else:
+                post_cancel_reads.append(record)
+            yield system.env.timeout(10.0)
+
+    def canceller():
+        yield system.env.timeout(cancel_at)
+        system.managers[0].revoke("newspaper", "commuter", Right.USE)
+
+    system.env.process(reader(), name="reader")
+    system.env.process(canceller(), name="canceller")
+    system.run(until=1250.0)
+
+    served = sum(ok for _t, ok in reads)
+    print(f"{label}:")
+    print(f"  while subscribed: {served}/{len(reads)} reads served "
+          f"({served / len(reads):.0%}) despite ~30% dead zones")
+    last_allowed = max(
+        (t for t, ok in post_cancel_reads if ok), default=None
+    )
+    if last_allowed is None:
+        print("  after cancelling: cut off immediately")
+    else:
+        print(f"  after cancelling: last read served "
+              f"{last_allowed - cancel_at:.0f}s past the cancellation "
+              f"(Te={policy.expiry_bound:.0f}s bound "
+              f"{'holds' if last_allowed - cancel_at < policy.expiry_bound or policy.exhausted_action is ExhaustedAction.ALLOW else 'VIOLATED'})")
+    print()
+
+
+def main() -> None:
+    print("a commuter reads the paper through tunnels; then cancels\n")
+    strict = AccessPolicy(
+        check_quorum=2, expiry_bound=120.0, max_attempts=2,
+        exhausted_action=ExhaustedAction.DENY,
+        query_timeout=1.0, retry_backoff=0.5,
+    )
+    lenient = AccessPolicy.availability_first(
+        n_managers=3, expiry_bound=120.0, attempts=2,
+        query_timeout=1.0, retry_backoff=0.5,
+    )
+    ride(strict, "strict policy (deny when unverifiable)")
+    ride(lenient, "Figure 4 policy (default-allow after R failures)")
+    print("the mobile tradeoff is the wired one, concentrated: every "
+          "tunnel is a partition, so the policy knobs matter constantly.")
+
+
+if __name__ == "__main__":
+    main()

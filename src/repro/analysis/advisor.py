@@ -1,0 +1,140 @@
+"""Policy advisor: from targets to a concrete AccessPolicy.
+
+The paper's closing position is that "our algorithm allows each
+application to set the parameters that determine the level of security
+and availability, as well as the access control overhead" — which
+leaves the operator holding four knobs.  This module turns targets
+into settings using the Section 4.1 analysis:
+
+>>> recommendation = recommend_policy(
+...     n_managers=10, pi=0.1,
+...     min_availability=0.999, min_security=0.99)
+>>> recommendation.policy.check_quorum
+5
+
+If no check quorum meets both targets at the given ``M``, the advisor
+applies the paper's own advice — "one way to solve the problem is to
+increase the cardinality of this set" — and reports the smallest
+sufficient ``M`` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.policy import AccessPolicy
+from .costs import steady_state_message_rate
+from .quorum_math import availability, best_check_quorum, security
+
+__all__ = ["Recommendation", "recommend_policy", "InfeasibleTargets"]
+
+
+class InfeasibleTargets(ValueError):
+    """No configuration up to the search bound meets the targets.
+
+    Carries ``suggested_m`` when growing the manager set would help.
+    """
+
+    def __init__(self, message: str, suggested_m: Optional[int] = None):
+        super().__init__(message)
+        self.suggested_m = suggested_m
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A concrete policy plus the analysis that justifies it."""
+
+    policy: AccessPolicy
+    n_managers: int
+    predicted_availability: float
+    predicted_security: float
+    predicted_message_rate: float  # per active (host, user) pair
+    feasible_quorums: List[int]  # every C meeting both targets
+    notes: str
+
+
+def recommend_policy(
+    n_managers: int,
+    pi: float,
+    min_availability: float = 0.99,
+    min_security: float = 0.99,
+    expiry_bound: float = 300.0,
+    clock_bound: float = 1.05,
+    prefer: str = "balanced",
+    max_suggested_m: int = 50,
+    **policy_overrides,
+) -> Recommendation:
+    """Choose ``C`` (and validate ``M``) for the given targets.
+
+    ``prefer`` selects within the feasible set: ``"balanced"`` takes the
+    C maximising min(PA, PS); ``"availability"`` the smallest feasible
+    C; ``"security"`` the largest; ``"cheap"`` also the smallest (the
+    O(C/Te) overhead grows with C).
+
+    Raises :class:`InfeasibleTargets` when no C at this M meets both
+    targets; the exception's ``suggested_m`` is the smallest manager
+    count that would (or None if even ``max_suggested_m`` is not
+    enough).
+    """
+    if prefer not in ("balanced", "availability", "security", "cheap"):
+        raise ValueError(f"unknown preference {prefer!r}")
+    if not 0.0 < min_availability <= 1.0 or not 0.0 < min_security <= 1.0:
+        raise ValueError("targets must be in (0, 1]")
+    feasible = [
+        c
+        for c in range(1, n_managers + 1)
+        if availability(n_managers, c, pi) >= min_availability
+        and security(n_managers, c, pi) >= min_security
+    ]
+    if not feasible:
+        suggested: Optional[int] = None
+        for m in range(n_managers + 1, max_suggested_m + 1):
+            point = best_check_quorum(m, pi)
+            if (
+                availability(m, point.c, pi) >= min_availability
+                and security(m, point.c, pi) >= min_security
+            ):
+                suggested = m
+                break
+        raise InfeasibleTargets(
+            f"no check quorum at M={n_managers}, Pi={pi} meets "
+            f"PA>={min_availability} and PS>={min_security}"
+            + (
+                f"; the smallest sufficient manager set is M={suggested}"
+                if suggested
+                else f"; not achievable up to M={max_suggested_m}"
+            ),
+            suggested_m=suggested,
+        )
+    if prefer == "balanced":
+        chosen = max(
+            feasible,
+            key=lambda c: min(
+                availability(n_managers, c, pi), security(n_managers, c, pi)
+            ),
+        )
+    elif prefer in ("availability", "cheap"):
+        chosen = min(feasible)
+    else:  # security
+        chosen = max(feasible)
+    policy = AccessPolicy(
+        check_quorum=chosen,
+        expiry_bound=expiry_bound,
+        clock_bound=clock_bound,
+        **policy_overrides,
+    )
+    policy.validate_for(n_managers)
+    return Recommendation(
+        policy=policy,
+        n_managers=n_managers,
+        predicted_availability=availability(n_managers, chosen, pi),
+        predicted_security=security(n_managers, chosen, pi),
+        predicted_message_rate=steady_state_message_rate(chosen, policy.te_local),
+        feasible_quorums=feasible,
+        notes=(
+            f"C={chosen} chosen from feasible set {feasible} "
+            f"(preference: {prefer}); update quorum "
+            f"{policy.update_quorum(n_managers)} of {n_managers}."
+        ),
+    )

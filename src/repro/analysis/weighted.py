@@ -1,0 +1,179 @@
+"""Weighted voting quorums — an extension of the Section 4.1 analysis.
+
+The paper sizes quorums by *count*: check quorum ``C``, update quorum
+``M - C + 1``.  Its related work points at richer quorum constructions
+(Agrawal & El Abbadi's tree quorums [2], Herlihy's dynamic quorum
+adjustment [9]); the natural first generalisation is Gifford-style
+*weighted voting*: manager ``i`` carries ``w_i`` votes, a check needs
+``Tc`` votes, an update needs ``Tu`` votes, and
+``Tc + Tu > sum(w)`` guarantees every check quorum intersects every
+update quorum — the same property the paper's ``C + (M - C + 1) = M+1``
+arrangement provides with unit weights.
+
+Why bother?  Section 4.1 closes by observing that real inaccessibility
+is heterogeneous and that "the assignment of managers to sites should
+be such that the inaccessibility between these sites is minimized".
+When one manager is markedly less reachable, weighted voting can
+*down-weight* it instead of either keeping it (hurting whichever side
+must count it) or removing it (losing its capacity entirely).  The
+``weighted_quorums`` experiment quantifies the gain.
+
+Everything here is exact: vote-total distributions are computed by
+dynamic programming over the (small) total weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+__all__ = [
+    "weight_tail",
+    "WeightedQuorumSystem",
+    "best_thresholds",
+    "best_unit_counts",
+]
+
+
+def weight_tail(
+    weights: Sequence[int], probs: Sequence[float], threshold: int
+) -> float:
+    """P[total weight of 'accessible' managers >= threshold].
+
+    ``weights[i]`` votes are counted with probability ``probs[i]``,
+    independently.  Exact DP in O(n * W).
+    """
+    if len(weights) != len(probs):
+        raise ValueError("weights and probs must have equal length")
+    total = 0
+    for weight, prob in zip(weights, probs):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"probability out of range: {prob}")
+        total += weight
+    if threshold <= 0:
+        return 1.0
+    if threshold > total:
+        return 0.0
+    dist = [0.0] * (total + 1)
+    dist[0] = 1.0
+    accumulated = 0
+    for weight, prob in zip(weights, probs):
+        accumulated += weight
+        if weight == 0:
+            continue
+        for value in range(accumulated, -1, -1):
+            base = dist[value] * (1.0 - prob)
+            carried = dist[value - weight] * prob if value >= weight else 0.0
+            dist[value] = base + carried
+    return min(1.0, sum(dist[threshold:]))
+
+
+@dataclass(frozen=True)
+class WeightedQuorumSystem:
+    """A weighted-voting configuration over named managers.
+
+    ``check_threshold + update_threshold`` must exceed the total weight
+    so that check and update quorums always intersect.
+    """
+
+    weights: Mapping[str, int]
+    check_threshold: int
+    update_threshold: int
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ValueError("need at least one manager")
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("weights must be non-negative")
+        total = self.total_weight
+        if not 1 <= self.check_threshold <= total:
+            raise ValueError(f"check threshold must be in [1, {total}]")
+        if not 1 <= self.update_threshold <= total:
+            raise ValueError(f"update threshold must be in [1, {total}]")
+        if self.check_threshold + self.update_threshold <= total:
+            raise ValueError(
+                "thresholds must intersect: Tc + Tu > total weight"
+            )
+
+    @property
+    def total_weight(self) -> int:
+        return sum(self.weights.values())
+
+    @property
+    def managers(self) -> List[str]:
+        return sorted(self.weights)
+
+    def availability(self, inaccessibility: Mapping[str, float]) -> float:
+        """P[a host gathers ``Tc`` votes], given per-manager pairwise
+        inaccessibility from the host."""
+        managers = self.managers
+        return weight_tail(
+            [self.weights[m] for m in managers],
+            [1.0 - inaccessibility[m] for m in managers],
+            self.check_threshold,
+        )
+
+    def security(
+        self, origin: str, inaccessibility: Mapping[str, float]
+    ) -> float:
+        """P[``origin`` gathers ``Tu`` votes for an update], counting
+        its own weight for free."""
+        if origin not in self.weights:
+            raise KeyError(f"unknown manager {origin!r}")
+        others = [m for m in self.managers if m != origin]
+        needed = self.update_threshold - self.weights[origin]
+        return weight_tail(
+            [self.weights[m] for m in others],
+            [1.0 - inaccessibility[m] for m in others],
+            needed,
+        )
+
+    def worst(
+        self,
+        host_inaccessibility: Mapping[str, float],
+        manager_inaccessibility: Mapping[str, Mapping[str, float]],
+    ) -> float:
+        """min over {availability} union {security from each origin} —
+        the balanced figure of merit."""
+        values = [self.availability(host_inaccessibility)]
+        for origin in self.managers:
+            values.append(self.security(origin, manager_inaccessibility[origin]))
+        return min(values)
+
+
+def best_thresholds(
+    weights: Mapping[str, int],
+    host_inaccessibility: Mapping[str, float],
+    manager_inaccessibility: Mapping[str, Mapping[str, float]],
+) -> WeightedQuorumSystem:
+    """The minimally intersecting thresholds (Tc + Tu = W + 1) that
+    maximise the balanced figure of merit for fixed weights."""
+    total = sum(weights.values())
+    best: Optional[WeightedQuorumSystem] = None
+    best_value = -1.0
+    for check_threshold in range(1, total + 1):
+        system = WeightedQuorumSystem(
+            weights=dict(weights),
+            check_threshold=check_threshold,
+            update_threshold=total - check_threshold + 1,
+        )
+        value = system.worst(host_inaccessibility, manager_inaccessibility)
+        if value > best_value:
+            best, best_value = system, value
+    assert best is not None
+    return best
+
+
+def best_unit_counts(
+    managers: Sequence[str],
+    host_inaccessibility: Mapping[str, float],
+    manager_inaccessibility: Mapping[str, Mapping[str, float]],
+) -> WeightedQuorumSystem:
+    """The paper's count-based scheme (all weights 1), optimised over C
+    — the baseline the weighted system is compared against."""
+    weights = {m: 1 for m in managers}
+    return best_thresholds(
+        weights, host_inaccessibility, manager_inaccessibility
+    )

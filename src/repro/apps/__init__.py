@@ -1,0 +1,19 @@
+"""The applications the paper uses to motivate its policy knobs.
+
+All three implement :class:`repro.core.Application` and contain zero
+access-control logic — the Figure 1 wrapper supplies it.
+"""
+
+from .infoservice import InfoCommand, InfoResult, OrgInfoService
+from .newspaper import Article, OnlineNewspaper
+from .stockquote import Quote, StockQuoteService
+
+__all__ = [
+    "Article",
+    "InfoCommand",
+    "InfoResult",
+    "OnlineNewspaper",
+    "OrgInfoService",
+    "Quote",
+    "StockQuoteService",
+]

@@ -1,0 +1,83 @@
+"""The paper's second motivating example.
+
+Section 2.1: "A more complicated example would be a distributed
+information service that maintains data for an organization.  In this
+case, some user identifiers could have been compromised or users
+terminated, so it is important to be able to prevent those users from
+accessing or changing information."
+
+A small key-value document store with read/write/list/delete commands.
+Security-first deployments wrap it with a strict policy (high check
+quorum, short ``Te``, no default-allow), so a compromised identity is
+cut off within ``Te`` of its revocation — the scenario the
+``revocation`` experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.wrapper import Application
+
+__all__ = ["OrgInfoService", "InfoCommand", "InfoResult"]
+
+
+@dataclass(frozen=True)
+class InfoCommand:
+    """One request to the information service."""
+
+    op: str  # "read" | "write" | "delete" | "list"
+    key: Optional[str] = None
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class InfoResult:
+    """The service's reply."""
+
+    ok: bool
+    value: Any = None
+    error: str = ""
+
+
+class OrgInfoService(Application):
+    """Key-value document store for organisational data.
+
+    Keeps a full audit log of (user, op, key) — useful after a
+    compromise to see what a revoked identity touched before the
+    revocation took effect.
+    """
+
+    name = "org-info"
+
+    def __init__(self):
+        self._store: Dict[str, Any] = {}
+        self.audit_log: List[Tuple[str, str, Optional[str]]] = []
+
+    def handle_request(self, user: str, payload: Any) -> InfoResult:
+        if not isinstance(payload, InfoCommand):
+            return InfoResult(ok=False, error="payload must be an InfoCommand")
+        command = payload
+        self.audit_log.append((user, command.op, command.key))
+        if command.op == "read":
+            if command.key in self._store:
+                return InfoResult(ok=True, value=self._store[command.key])
+            return InfoResult(ok=False, error=f"no such key: {command.key}")
+        if command.op == "write":
+            if command.key is None:
+                return InfoResult(ok=False, error="write requires a key")
+            self._store[command.key] = command.value
+            return InfoResult(ok=True, value=command.value)
+        if command.op == "delete":
+            if command.key in self._store:
+                del self._store[command.key]
+                return InfoResult(ok=True)
+            return InfoResult(ok=False, error=f"no such key: {command.key}")
+        if command.op == "list":
+            return InfoResult(ok=True, value=sorted(self._store))
+        return InfoResult(ok=False, error=f"unknown op: {command.op}")
+
+    def accesses_by(self, user: str) -> List[Tuple[str, str, Optional[str]]]:
+        """Audit trail for one user."""
+        return [record for record in self.audit_log if record[0] == user]

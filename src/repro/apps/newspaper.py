@@ -1,0 +1,78 @@
+"""The paper's availability-first example.
+
+Section 2.3: "to ensure user satisfaction, availability can be more
+important than security for services such as on-line magazines and
+newspapers" — the motivating case for the Figure 4 default-allow rule,
+"certain Internet-based information or entertainment services where
+customer satisfaction is paramount and potentially unauthorized access
+results only in minor revenue loss."
+
+The service publishes daily editions; deployments pair it with
+``AccessPolicy.availability_first`` so subscribers keep reading through
+partitions, at the cost of occasional free reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.wrapper import Application
+
+__all__ = ["OnlineNewspaper", "Article"]
+
+
+@dataclass(frozen=True)
+class Article:
+    """One article in an edition."""
+
+    edition: int
+    section: str
+    headline: str
+    body: str
+
+
+class OnlineNewspaper(Application):
+    """Serves articles from published editions."""
+
+    name = "newspaper"
+
+    #: Sections present in every edition.
+    SECTIONS = ("front", "world", "business", "sports")
+
+    def __init__(self):
+        self._editions: Dict[int, Dict[str, Article]] = {}
+        self.reads_served = 0
+        self.publish_edition()  # edition 1 exists from the start
+
+    @property
+    def latest_edition(self) -> int:
+        return max(self._editions) if self._editions else 0
+
+    def publish_edition(self) -> int:
+        """Produce the next edition (deterministic filler content)."""
+        number = self.latest_edition + 1
+        self._editions[number] = {
+            section: Article(
+                edition=number,
+                section=section,
+                headline=f"Edition {number}: {section} news",
+                body=f"All the {section} developments as of edition {number}.",
+            )
+            for section in self.SECTIONS
+        }
+        return number
+
+    def handle_request(self, user: str, payload: Any) -> Optional[Article]:
+        """Payload: a section name, or (edition, section)."""
+        if isinstance(payload, tuple):
+            edition, section = payload
+        else:
+            edition, section = self.latest_edition, payload
+        articles = self._editions.get(edition)
+        if articles is None:
+            return None
+        article = articles.get(section)
+        if article is not None:
+            self.reads_served += 1
+        return article

@@ -1,0 +1,64 @@
+"""The paper's first motivating example.
+
+Section 2.1: "A simple example of the access control problem would be a
+service that provides stock quotes, but only to those users who have
+paid for the service."
+
+The service itself knows nothing about access control — the wrapper
+guarantees only paying subscribers reach :meth:`handle_request`.
+Prices follow a deterministic per-ticker random walk seeded by the
+ticker name, so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..core.wrapper import Application
+
+__all__ = ["StockQuoteService", "Quote"]
+
+
+@dataclass(frozen=True)
+class Quote:
+    """One stock quote."""
+
+    ticker: str
+    price: float
+    serial: int  # per-ticker request counter
+
+
+class StockQuoteService(Application):
+    """Serves quotes for any ticker symbol to authorized users."""
+
+    name = "stock-quotes"
+
+    def __init__(self, base_price: float = 100.0, volatility: float = 0.5):
+        if base_price <= 0 or volatility < 0:
+            raise ValueError("base_price must be positive, volatility non-negative")
+        self.base_price = base_price
+        self.volatility = volatility
+        self._prices: Dict[str, float] = {}
+        self._serials: Dict[str, int] = {}
+        self.requests_served = 0
+
+    def _step(self, ticker: str, serial: int) -> float:
+        """Deterministic pseudo-random walk step in [-1, 1]."""
+        digest = hashlib.sha256(f"{ticker}:{serial}".encode()).digest()
+        unit = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+        return 2.0 * unit - 1.0
+
+    def handle_request(self, user: str, payload: Any) -> Quote:
+        """Payload: a ticker symbol string."""
+        if not isinstance(payload, str) or not payload:
+            raise ValueError(f"expected a ticker symbol, got {payload!r}")
+        ticker = payload.upper()
+        serial = self._serials.get(ticker, 0) + 1
+        self._serials[ticker] = serial
+        price = self._prices.get(ticker, self.base_price)
+        price = max(0.01, price + self.volatility * self._step(ticker, serial))
+        self._prices[ticker] = price
+        self.requests_served += 1
+        return Quote(ticker=ticker, price=round(price, 2), serial=serial)

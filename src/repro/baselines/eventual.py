@@ -1,0 +1,360 @@
+"""Baseline 3: eventual consistency (Samarati, Ammann & Jajodia [23]).
+
+Section 4.2: "One other approach to authorization that deals with site
+and communication failures in wide-area networks is described in [23].
+Here, such events are dealt with by allowing changes in access control
+information to be updated eventually when communication has been
+resumed, with emphasis on eventual consistency.  In contrast with our
+work, no guarantees are made on when the information will be updated."
+
+Semantics implemented here (reconstructed from that description):
+
+* Managers apply updates locally and converge via periodic
+  anti-entropy: each gossip round, a manager pushes its full versioned
+  ACL snapshot to one random peer; LWW merge guarantees convergence
+  once partitions heal.
+* An update call returns immediately — there is no quorum and no
+  guarantee point.
+* Hosts query any single manager and cache grants **without expiry**.
+  Managers forward revocations to caching hosts (best-effort with
+  retries), so caches are *eventually* flushed — but a partitioned
+  host can honour a revoked right for unbounded time, which is exactly
+  the contrast the paper draws.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Sequence, Set, Tuple
+
+from ..core.acl import AccessControlList
+from ..core.host import AccessDecision, DecisionReason
+from ..core.messages import (
+    AclUpdate,
+    QueryRequest,
+    QueryResponse,
+    RevokeNotify,
+    RevokeNotifyAck,
+    SyncResponse,
+    Verdict,
+)
+from ..core.rights import Right, Version, hlc_counter
+from ..sim.node import Address, Node
+from ..sim.trace import TraceKind
+from .common import BaselineSystem
+
+__all__ = ["EventualManager", "EventualHost", "EventualSystem"]
+
+
+class EventualManager(Node):
+    """Gossip-replicated manager with no timeliness guarantees."""
+
+    def __init__(
+        self,
+        address: Address,
+        applications: Sequence[str],
+        peers: Sequence[Address],
+        gossip_interval: float = 10.0,
+        revoke_retry_interval: float = 5.0,
+    ):
+        super().__init__(address)
+        self.acls: Dict[str, AccessControlList] = {
+            app: AccessControlList(app) for app in applications
+        }
+        self.peers = tuple(p for p in peers if p != address)
+        self.gossip_interval = gossip_interval
+        self.revoke_retry_interval = revoke_retry_interval
+        self._counter = 0
+        self._notify_ids = itertools.count(1)
+        self._pending_notifies: Dict[int, Any] = {}
+        # grant_table[app][(user, right)] -> set of host addresses
+        self._grant_table: Dict[str, Dict[Tuple[str, Right], Set[Address]]] = {
+            app: {} for app in applications
+        }
+        self.recovering = False
+
+    def attach(self, network) -> None:
+        super().attach(network)
+        if self.peers:
+            self.spawn(self._gossip_loop(), name=f"{self.address}/gossip")
+
+    def _gossip_loop(self):
+        rng = self.network.rng
+        while True:
+            yield self.env.timeout(self.gossip_interval)
+            if not self.up or not self.peers:
+                continue
+            peer = rng.choice(self.peers)
+            snapshots = tuple(
+                (app, tuple(acl.snapshot())) for app, acl in self.acls.items()
+            )
+            self.send(peer, SyncResponse(responder=self.address, snapshots=snapshots))
+
+    # -- operations ----------------------------------------------------------
+    def add(self, application: str, user: str, right: Right = Right.USE):
+        return self._issue(application, user, right, grant=True)
+
+    def revoke(self, application: str, user: str, right: Right = Right.USE):
+        return self._issue(application, user, right, grant=False)
+
+    def _issue(self, application: str, user: str, right: Right, grant: bool):
+        current = self.acls[application].version_of(user, right)
+        self._counter = hlc_counter(
+            self.env.now, max(self._counter, current.counter)
+        )
+        update = AclUpdate(
+            update_id=f"{self.address}:{self._counter}",
+            application=application,
+            user=user,
+            right=right,
+            grant=grant,
+            version=Version(self._counter, self.address),
+            origin=self.address,
+        )
+        self.acls[application].apply(update.entry())
+        self.network.tracer.publish(
+            TraceKind.UPDATE_ISSUED, self.address,
+            application=application, user=user, grant=grant,
+            update_id=update.update_id,
+        )
+        if not grant:
+            self._forward_revocation(update)
+        return update
+
+    def _forward_revocation(self, update: AclUpdate) -> None:
+        holders = self._grant_table[update.application].pop(
+            (update.user, update.right), set()
+        )
+        for host in holders:
+            self.spawn(
+                self._notify_host(host, update),
+                name=f"{self.address}/ec-revoke:{host}",
+            )
+
+    def _notify_host(self, host: Address, update: AclUpdate):
+        """Retry forever — "eventually" is the only guarantee."""
+        notify_id = next(self._notify_ids)
+        acked = self.env.event()
+        self._pending_notifies[notify_id] = acked
+        message = RevokeNotify(
+            application=update.application,
+            user=update.user,
+            right=update.right,
+            version=update.version,
+            notify_id=notify_id,
+        )
+        try:
+            while not acked.triggered:
+                if self.up:
+                    self.send(host, message)
+                    self.network.tracer.publish(
+                        TraceKind.REVOKE_FORWARDED, self.address,
+                        host=host, application=update.application, user=update.user,
+                    )
+                timer = self.env.timeout(self.revoke_retry_interval)
+                yield self.env.any_of([acked, timer])
+        finally:
+            self._pending_notifies.pop(notify_id, None)
+
+    # -- messages -------------------------------------------------------------
+    def handle_message(self, src: Address, message: Any) -> None:
+        if isinstance(message, QueryRequest):
+            acl = self.acls.get(message.application)
+            if acl is None:
+                return
+            entry = acl.entry(message.user, message.right)
+            granted = entry is not None and entry.granted
+            if granted:
+                holders = self._grant_table[message.application].setdefault(
+                    (message.user, message.right), set()
+                )
+                holders.add(src)
+            self.send(
+                src,
+                QueryResponse(
+                    query_id=message.query_id,
+                    application=message.application,
+                    user=message.user,
+                    right=message.right,
+                    verdict=Verdict.GRANT if granted else Verdict.DENY,
+                    te=float("inf"),  # no expiry in this design
+                    version=acl.version_of(message.user, message.right),
+                    manager=self.address,
+                ),
+            )
+        elif isinstance(message, SyncResponse):
+            for application, entries in message.snapshots:
+                acl = self.acls.get(application)
+                if acl is None:
+                    continue
+                newly_revoked = [
+                    e for e in entries
+                    if not e.granted and acl.apply(e)
+                ]
+                acl.merge(e for e in entries if e.granted)
+                for entry in newly_revoked:
+                    self._forward_revocation(
+                        AclUpdate(
+                            update_id=f"gossip:{entry.version}",
+                            application=application,
+                            user=entry.user,
+                            right=entry.right,
+                            grant=False,
+                            version=entry.version,
+                            origin=message.responder,
+                        )
+                    )
+                for entry in entries:
+                    self._counter = max(self._counter, entry.version.counter)
+        elif isinstance(message, RevokeNotifyAck):
+            event = self._pending_notifies.get(message.notify_id)
+            if event is not None and not event.triggered:
+                event.succeed()
+
+
+class EventualHost(Node):
+    """Caches grants forever; trusts any single manager."""
+
+    def __init__(
+        self,
+        address: Address,
+        managers: Sequence[Address],
+        query_timeout: float = 1.0,
+        max_attempts: int = 3,
+        retry_backoff: float = 1.0,
+    ):
+        super().__init__(address)
+        self.managers = tuple(managers)
+        self.query_timeout = query_timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self._query_ids = itertools.count(1)
+        self._pending: Dict[int, Callable[[QueryResponse], None]] = {}
+        # cache[app] -> set of (user, right) believed granted
+        self._cache: Dict[str, Set[Tuple[str, Right]]] = {}
+        self.stats = {"checks": 0, "allowed": 0, "denied": 0, "cache_hits": 0}
+
+    def check_access(self, application: str, user: str, right: Right = Right.USE):
+        self.stats["checks"] += 1
+        start = self.env.now
+        cache = self._cache.setdefault(application, set())
+        if (user, right) in cache:
+            self.stats["cache_hits"] += 1
+            self.stats["allowed"] += 1
+            self.network.tracer.publish(
+                TraceKind.ACCESS_ALLOWED, self.address,
+                application=application, user=user, reason="cache",
+                attempts=0, latency=0.0,
+            )
+            return AccessDecision(
+                application=application, user=user, right=right,
+                allowed=True, reason=DecisionReason.CACHE,
+                attempts=0, responses=0, latency=0.0,
+            )
+        attempts = 0
+        while attempts < self.max_attempts:
+            attempts += 1
+            manager = self.managers[(attempts - 1) % len(self.managers)]
+            qid = next(self._query_ids)
+            arrival = self.env.event()
+            self._pending[qid] = (
+                lambda response, ev=arrival: ev.succeed(response)
+                if not ev.triggered
+                else None
+            )
+            self.send(
+                manager,
+                QueryRequest(
+                    query_id=qid, application=application, user=user, right=right
+                ),
+            )
+            timer = self.env.timeout(self.query_timeout)
+            yield self.env.any_of([arrival, timer])
+            self._pending.pop(qid, None)
+            if arrival.triggered and arrival.ok:
+                response: QueryResponse = arrival.value
+                allowed = response.verdict == Verdict.GRANT
+                if allowed:
+                    cache.add((user, right))
+                self.stats["allowed" if allowed else "denied"] += 1
+                kind = (
+                    TraceKind.ACCESS_ALLOWED if allowed else TraceKind.ACCESS_DENIED
+                )
+                self.network.tracer.publish(
+                    kind, self.address, application=application, user=user,
+                    reason="verified", attempts=attempts,
+                    latency=self.env.now - start,
+                )
+                return AccessDecision(
+                    application=application, user=user, right=right,
+                    allowed=allowed,
+                    reason=(
+                        DecisionReason.VERIFIED if allowed else DecisionReason.DENIED
+                    ),
+                    attempts=attempts,
+                    responses=1,
+                    latency=self.env.now - start,
+                )
+            if attempts < self.max_attempts:
+                yield self.env.timeout(self.retry_backoff)
+        self.stats["denied"] += 1
+        self.network.tracer.publish(
+            TraceKind.ACCESS_UNRESOLVED, self.address,
+            application=application, user=user, reason="exhausted",
+            attempts=attempts, latency=self.env.now - start,
+        )
+        return AccessDecision(
+            application=application, user=user, right=right,
+            allowed=False, reason=DecisionReason.EXHAUSTED,
+            attempts=attempts, responses=0, latency=self.env.now - start,
+        )
+
+    def request_access(self, application: str, user: str, right: Right = Right.USE):
+        return self.env.process(self.check_access(application, user, right))
+
+    def handle_message(self, src: Address, message: Any) -> None:
+        if isinstance(message, QueryResponse):
+            callback = self._pending.pop(message.query_id, None)
+            if callback is not None:
+                callback(message)
+        elif isinstance(message, RevokeNotify):
+            cache = self._cache.setdefault(message.application, set())
+            cache.discard((message.user, message.right))
+            self.network.tracer.publish(
+                TraceKind.CACHE_FLUSHED, self.address,
+                application=message.application, user=message.user, removed=1,
+            )
+            self.send(
+                src, RevokeNotifyAck(notify_id=message.notify_id, host=self.address)
+            )
+
+    def on_crash(self) -> None:
+        self._cache.clear()
+        self._pending.clear()
+
+
+class EventualSystem(BaselineSystem):
+    """A wired eventual-consistency deployment."""
+
+    def __init__(self, *args, gossip_interval: float = 10.0, **kwargs):
+        self.gossip_interval = gossip_interval
+        super().__init__(*args, **kwargs)
+
+    def _build(self, n_managers: int, n_hosts: int) -> None:
+        for addr in self.manager_addrs:
+            manager = EventualManager(
+                addr,
+                self.applications,
+                self.manager_addrs,
+                gossip_interval=self.gossip_interval,
+            )
+            self.network.register(manager)
+            self.managers.append(manager)
+        for i in range(n_hosts):
+            host = EventualHost(f"h{i}", self.manager_addrs)
+            self.network.register(host)
+            self.hosts.append(host)
+
+    def _seed_entry(self, application: str, entry) -> None:
+        for manager in self.managers:
+            manager.acls[application].apply(entry)

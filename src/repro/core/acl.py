@@ -1,0 +1,94 @@
+"""The authoritative access control list kept by managers.
+
+"The access control management component maintains an access control
+list for each application that includes the users allowed to access the
+application, as well as the application's managers" (Section 2.2).
+
+One :class:`AccessControlList` instance covers one application.  It is a
+versioned last-writer-wins map from ``(user, right)`` to
+:class:`~repro.core.rights.AclEntry`; revocations are retained as
+tombstones so that merges between managers converge regardless of
+message ordering (the merge is commutative, associative, and
+idempotent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .rights import AclEntry, Right, Version, ZERO_VERSION
+
+__all__ = ["AccessControlList"]
+
+
+class AccessControlList:
+    """Versioned ACL for a single application."""
+
+    def __init__(self, application: str):
+        self.application = application
+        self._entries: Dict[Tuple[str, Right], AclEntry] = {}
+
+    # -- queries ---------------------------------------------------------------
+    def check(self, user: str, right: Right) -> bool:
+        """Does ``user`` currently hold ``right``?"""
+        entry = self._entries.get((user, right))
+        return entry is not None and entry.granted
+
+    def entry(self, user: str, right: Right) -> Optional[AclEntry]:
+        """The stored entry (grant or tombstone), or None if never set."""
+        return self._entries.get((user, right))
+
+    def version_of(self, user: str, right: Right) -> Version:
+        """Version of the stored entry; ZERO_VERSION if never set."""
+        entry = self._entries.get((user, right))
+        return entry.version if entry is not None else ZERO_VERSION
+
+    def users_with(self, right: Right) -> List[str]:
+        """All users currently holding ``right`` (sorted for determinism)."""
+        return sorted(
+            user
+            for (user, r), entry in self._entries.items()
+            if r == right and entry.granted
+        )
+
+    def __len__(self) -> int:
+        """Number of stored entries, tombstones included."""
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, Right]) -> bool:
+        return key in self._entries
+
+    # -- mutation ---------------------------------------------------------------
+    def apply(self, entry: AclEntry) -> bool:
+        """Merge ``entry``; higher version wins.  Returns True if stored.
+
+        Equal versions are idempotent re-deliveries and are ignored.
+        """
+        key = (entry.user, entry.right)
+        current = self._entries.get(key)
+        if current is None or entry.version > current.version:
+            self._entries[key] = entry
+            return True
+        return False
+
+    def merge(self, entries: Iterable[AclEntry]) -> int:
+        """Merge many entries; returns how many were newly stored."""
+        return sum(1 for entry in entries if self.apply(entry))
+
+    # -- synchronisation -----------------------------------------------------------
+    def snapshot(self) -> List[AclEntry]:
+        """All entries (tombstones included), for recovery resync."""
+        return list(self._entries.values())
+
+    def highest_version(self) -> Version:
+        """The largest version present (ZERO_VERSION when empty)."""
+        if not self._entries:
+            return ZERO_VERSION
+        return max(entry.version for entry in self._entries.values())
+
+    def __repr__(self) -> str:
+        grants = sum(1 for e in self._entries.values() if e.granted)
+        return (
+            f"<ACL {self.application!r} grants={grants} "
+            f"tombstones={len(self._entries) - grants}>"
+        )

@@ -1,0 +1,171 @@
+"""The host-side ACL cache (the paper's ``ACL_cache(A)``).
+
+"Each host in Hosts(A) maintains a cache of the access control list for
+A ... ACL_cache(A) contains the access rights that have been granted
+for some subset of the users of A" (Section 3.1).  The extended
+protocol (Figure 3) timestamps every cached tuple: ``lookup`` returns
+``(U, limit)`` where ``limit`` is the expiration timestamp on the
+*local* clock, and expired tuples are removed and re-checked with a
+manager.
+
+Only grants are cached — a denial is never cached, because a stale
+cached denial could not be bounded the way a stale grant is (a grant is
+bounded by expiry; a denial would wrongly lock a re-authorised user out
+until it was flushed).
+
+Timestamps in this module are local-clock values; the cache never sees
+real simulation time.  That is exactly the paper's point: expiry must
+work from a drifting local clock alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .rights import Right, Version
+
+__all__ = ["CacheEntry", "ACLCache", "CacheLookup"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached grant: the paper's ``(U, limit)`` tuple plus version."""
+
+    user: str
+    right: Right
+    limit: float  # expiration timestamp on the host's local clock
+    version: Version
+
+
+@dataclass(frozen=True)
+class CacheLookup:
+    """Result of a cache probe: the entry (if live) and what happened."""
+
+    entry: Optional[CacheEntry]
+    expired: bool  # an entry existed but its limit had passed
+
+    @property
+    def hit(self) -> bool:
+        return self.entry is not None
+
+
+class ACLCache:
+    """Per-application cache of granted rights with local-clock expiry."""
+
+    def __init__(self, application: str):
+        self.application = application
+        self._entries: Dict[Tuple[str, Right], CacheEntry] = {}
+        self._last_access: Dict[Tuple[str, Right], float] = {}
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+        self.flushes = 0
+        self.idle_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, user: str, right: Right, now_local: float) -> CacheLookup:
+        """Figure 3's ``lookup``: return the live entry or classify the miss.
+
+        An expired entry is removed as a side effect ("the access
+        control tuple is removed and the access is rechecked").
+        """
+        key = (user, right)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return CacheLookup(entry=None, expired=False)
+        if now_local < entry.limit:
+            self.hits += 1
+            self._last_access[key] = now_local
+            return CacheLookup(entry=entry, expired=False)
+        del self._entries[key]
+        self._last_access.pop(key, None)
+        self.expirations += 1
+        return CacheLookup(entry=None, expired=True)
+
+    def store(self, entry: CacheEntry, now_local: Optional[float] = None) -> None:
+        """Insert or refresh a cached grant (``ACL_cache(A) += (U, ...)``).
+
+        The store counts as an access for idle-eviction purposes when
+        ``now_local`` is supplied (the entry was just fetched on some
+        user's behalf); background refreshes pass ``None`` to leave the
+        last-access time untouched.
+        """
+        key = (entry.user, entry.right)
+        self._entries[key] = entry
+        if now_local is not None:
+            self._last_access[key] = now_local
+        else:
+            self._last_access.setdefault(key, float("-inf"))
+
+    def flush(self, user: str, right: Optional[Right] = None) -> int:
+        """Remove cached grants for ``user`` (``ACL_cache(A) -= U``).
+
+        Removing a non-existent entry is a no-op, as the paper notes.
+        Returns the number of entries removed.
+        """
+        if right is not None:
+            removed = 1 if self._entries.pop((user, right), None) is not None else 0
+            self._last_access.pop((user, right), None)
+        else:
+            keys = [key for key in self._entries if key[0] == user]
+            for key in keys:
+                del self._entries[key]
+                self._last_access.pop(key, None)
+            removed = len(keys)
+        self.flushes += removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop everything (host recovery: "initialized to null")."""
+        self._entries.clear()
+        self._last_access.clear()
+
+    def purge_expired(self, now_local: float) -> int:
+        """Background sweep of entries past their limit.  Returns count."""
+        expired = [
+            key for key, entry in self._entries.items() if now_local >= entry.limit
+        ]
+        for key in expired:
+            del self._entries[key]
+            self._last_access.pop(key, None)
+        self.expirations += len(expired)
+        return len(expired)
+
+    def purge_idle(self, now_local: float, idle_ttl: float) -> int:
+        """The paper's memory-saving sweep: "eliminate entries of users
+        who have not accessed the application recently, which can save
+        memory and processing overhead."  Removes (still valid) entries
+        whose last access is older than ``idle_ttl``; they will simply
+        be re-verified if the user returns.  Returns count removed.
+        """
+        if idle_ttl <= 0:
+            raise ValueError("idle_ttl must be positive")
+        idle = [
+            key
+            for key in self._entries
+            if now_local - self._last_access.get(key, float("-inf")) > idle_ttl
+        ]
+        for key in idle:
+            del self._entries[key]
+            self._last_access.pop(key, None)
+        self.idle_evictions += len(idle)
+        return len(idle)
+
+    def last_access(self, user: str, right: Right) -> Optional[float]:
+        """Local-clock time of the entry's last use (None if untracked)."""
+        value = self._last_access.get((user, right))
+        return None if value in (None, float("-inf")) else value
+
+    def entries(self) -> List[CacheEntry]:
+        """All live-or-stale entries currently stored (for inspection)."""
+        return list(self._entries.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<ACLCache {self.application!r} size={len(self._entries)} "
+            f"hits={self.hits} misses={self.misses} expired={self.expirations}>"
+        )

@@ -1,0 +1,253 @@
+"""One-call construction of a complete simulated deployment.
+
+:class:`AccessControlSystem` wires together everything a study needs:
+an environment, a traced network with a chosen partition model, ``M``
+managers, ``N`` application hosts with drifting clocks, optionally a
+trusted name service and a host-failure injector.  It is the backbone
+of the examples, the simulation experiments, and the integration tests.
+
+Example
+-------
+>>> from repro.core import AccessControlSystem, AccessPolicy, Right
+>>> system = AccessControlSystem(
+...     n_managers=5, n_hosts=3, applications=("stocks",),
+...     policy=AccessPolicy(check_quorum=3), seed=7)
+>>> system.seed_grant("stocks", "alice")
+>>> proc = system.hosts[0].request_access("stocks", "alice")
+>>> system.run(until=60)
+>>> proc.value.allowed
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.clock import ClockFactory
+from ..sim.engine import Environment
+from ..sim.failures import CrashRecoveryInjector
+from ..sim.network import LatencyModel, Network, ShiftedExponentialLatency
+from ..sim.partitions import ConnectivityModel, FullConnectivity
+from ..sim.rng import RngStreams
+from ..sim.trace import Tracer
+from .manager import AccessControlManager
+from .name_service import TrustedNameService
+from .policy import AccessPolicy
+from .rights import AclEntry, Right, Version
+from .wrapper import ApplicationHost
+
+__all__ = ["AccessControlSystem"]
+
+#: Version origin for ``seed_grant`` entries: the empty string
+#: sorts below every real manager id, so ties go to real operations.
+_SEED_ORIGIN = ""
+
+
+class AccessControlSystem:
+    """A fully wired simulated deployment of the paper's protocol.
+
+    Parameters
+    ----------
+    n_managers:
+        ``M`` — size of ``Managers(A)`` (shared by all applications).
+    n_hosts:
+        Number of application hosts (``Hosts(A)``).
+    applications:
+        Application names; every host serves all of them (deploy
+        concrete :class:`~repro.core.wrapper.Application` objects to
+        individual hosts as needed).
+    policy:
+        Default :class:`~repro.core.policy.AccessPolicy` for hosts and
+        managers.
+    connectivity / latency / loss_rate:
+        Network behaviour; defaults to full connectivity with
+        WAN-shaped latency.
+    use_name_service:
+        Resolve manager sets through a :class:`TrustedNameService`
+        instead of static host configuration.
+    clock_drift:
+        Give hosts drifting clocks within the policy's bound ``b``
+        (managers' timers use real-time intervals, which is equivalent
+        to rate-1 clocks; only host expiry depends on drift).
+    host_failures / manager_failures:
+        Optional ``(mttf, mttr)`` pairs enabling crash/recovery
+        injection for that node class.
+    keep_trace_log:
+        Retain every trace record in memory (tests, debugging).
+    """
+
+    def __init__(
+        self,
+        n_managers: int = 5,
+        n_hosts: int = 10,
+        applications: Sequence[str] = ("app",),
+        policy: Optional[AccessPolicy] = None,
+        connectivity: Optional[ConnectivityModel] = None,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        use_name_service: bool = False,
+        clock_drift: bool = True,
+        host_failures: Optional[Tuple[float, float]] = None,
+        manager_failures: Optional[Tuple[float, float]] = None,
+        seed: int = 0,
+        keep_trace_log: bool = False,
+        recheck_on_delivery: bool = False,
+    ):
+        if n_managers < 1:
+            raise ValueError("need at least one manager")
+        if n_hosts < 0:
+            raise ValueError("host count cannot be negative")
+        if not applications:
+            raise ValueError("need at least one application")
+        self.policy = policy or AccessPolicy()
+        self.policy.validate_for(n_managers)
+        self.applications = tuple(applications)
+        self.streams = RngStreams(seed)
+        self.env = Environment()
+        self.tracer = Tracer(self.env, keep_log=keep_trace_log)
+        self.network = Network(
+            self.env,
+            connectivity=connectivity or FullConnectivity(),
+            latency=latency or ShiftedExponentialLatency(),
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            tracer=self.tracer,
+            rng=self.streams.stream("network"),
+            recheck_on_delivery=recheck_on_delivery,
+        )
+
+        manager_addrs = tuple(f"m{i}" for i in range(n_managers))
+        self.managers: List[AccessControlManager] = []
+        for addr in manager_addrs:
+            manager = AccessControlManager(addr, self.policy)
+            for app in self.applications:
+                manager.manage(app, manager_addrs)
+            self.network.register(manager)
+            self.managers.append(manager)
+        self.manager_addrs = manager_addrs
+
+        self.name_service: Optional[TrustedNameService] = None
+        if use_name_service:
+            self.name_service = TrustedNameService()
+            for app in self.applications:
+                self.name_service.register(app, manager_addrs)
+            self.network.register(self.name_service)
+
+        clock_factory = ClockFactory(
+            self.env,
+            b=self.policy.clock_bound,
+            rng=self.streams.stream("clocks"),
+        )
+        self.hosts: List[ApplicationHost] = []
+        for i in range(n_hosts):
+            clock = clock_factory.make() if clock_drift else clock_factory.perfect()
+            if use_name_service:
+                host = ApplicationHost(
+                    f"h{i}",
+                    self.policy,
+                    name_service=self.name_service.address,
+                    clock=clock,
+                )
+            else:
+                host = ApplicationHost(
+                    f"h{i}",
+                    self.policy,
+                    managers={app: manager_addrs for app in self.applications},
+                    clock=clock,
+                )
+            self.network.register(host)
+            self.hosts.append(host)
+
+        self.host_injector: Optional[CrashRecoveryInjector] = None
+        if host_failures is not None:
+            mttf, mttr = host_failures
+            self.host_injector = CrashRecoveryInjector(
+                self.env,
+                self.hosts,
+                mttf=mttf,
+                mttr=mttr,
+                rng=self.streams.stream("host-failures"),
+                tracer=self.tracer,
+            )
+        self.manager_injector: Optional[CrashRecoveryInjector] = None
+        if manager_failures is not None:
+            mttf, mttr = manager_failures
+            self.manager_injector = CrashRecoveryInjector(
+                self.env,
+                self.managers,
+                mttf=mttf,
+                mttr=mttr,
+                rng=self.streams.stream("manager-failures"),
+                tracer=self.tracer,
+            )
+
+    # -- convenience ------------------------------------------------------------
+    @property
+    def n_managers(self) -> int:
+        return len(self.managers)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.hosts)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the simulation."""
+        self.env.run(until=until)
+
+    def seed_grant(
+        self, application: str, user: str, right: Right = Right.USE
+    ) -> None:
+        """Install a grant on *all* managers outside the protocol.
+
+        Experiment setup only: equivalent to an ``Add`` that completed
+        full propagation before time zero.
+        """
+        entry = AclEntry(
+            user=user, right=right, granted=True, version=Version(1, _SEED_ORIGIN)
+        )
+        for manager in self.managers:
+            manager.bootstrap(application, [entry])
+
+    def seed_grants(
+        self, application: str, users: Iterable[str], right: Right = Right.USE
+    ) -> None:
+        for user in users:
+            self.seed_grant(application, user, right)
+
+    def set_app_policy(self, application: str, policy: AccessPolicy) -> None:
+        """Install a per-application policy on every host and manager."""
+        policy.validate_for(self.n_managers)
+        for host in self.hosts:
+            host.set_policy(application, policy)
+        for manager in self.managers:
+            manager.set_policy(application, policy)
+
+    def register_application(self, application: str) -> None:
+        """Add a new application to every manager/host after construction."""
+        if application in self.applications:
+            return
+        self.applications = self.applications + (application,)
+        for manager in self.managers:
+            manager.manage(application, self.manager_addrs)
+        if self.name_service is not None:
+            self.name_service.register(application, self.manager_addrs)
+        for host in self.hosts:
+            if self.name_service is None:
+                host.set_managers(application, self.manager_addrs)
+
+    def reachable_managers_from(self, host_index: int) -> int:
+        """Instantaneous count of managers reachable from a host
+        (ground truth for validation metrics, not visible to nodes)."""
+        host = self.hosts[host_index]
+        return sum(
+            1
+            for addr in self.manager_addrs
+            if self.network.reachable(host.address, addr)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AccessControlSystem M={self.n_managers} hosts={self.n_hosts} "
+            f"apps={list(self.applications)}>"
+        )

@@ -1,0 +1,168 @@
+"""The access-control wrapper around applications.
+
+Figure 1's design note: "the access control mechanisms encapsulate the
+application, essentially creating a wrapper that enables the
+application to be written without needing to address access control ...
+this allows access control mechanisms to be added transparently to
+existing applications."
+
+:class:`Application` is the interface an unmodified service implements;
+:class:`ApplicationHost` is an :class:`~repro.core.host.AccessControlHost`
+that additionally hosts applications: it intercepts
+:class:`~repro.core.messages.AppRequest` messages, authenticates the
+sender (when an :class:`~repro.auth.Authenticator` is configured),
+checks the *use* right via the paper's protocol, and only then forwards
+the payload to the application.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from ..auth.identity import Authenticator, SignedMessage
+from ..sim.node import Address
+from .host import AccessControlHost
+from .messages import AppRequest, AppResponse
+from .policy import AccessPolicy
+from .rights import Right
+
+__all__ = ["Application", "ApplicationHost"]
+
+
+class Application:
+    """Interface for a wrapped application.
+
+    Subclasses implement :meth:`handle_request`; they never see
+    unauthorized traffic and contain no access-control logic — that is
+    the wrapper's transparency property.
+    """
+
+    #: The application name (the paper's ``A``).
+    name: str = "application"
+
+    def handle_request(self, user: str, payload: Any) -> Any:
+        """Serve one authorized request and return its result."""
+        raise NotImplementedError
+
+    def on_deploy(self, host: "ApplicationHost") -> None:
+        """Hook called when the application is installed on a host."""
+
+
+class ApplicationHost(AccessControlHost):
+    """An application host: access-control wrapper + applications.
+
+    Parameters are those of :class:`AccessControlHost` plus an optional
+    ``authenticator``.  When an authenticator is present, app requests
+    must arrive as :class:`~repro.auth.SignedMessage` and the signature
+    must verify for the claimed user; unauthenticated or forged
+    requests are rejected before any access check.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        policy: AccessPolicy,
+        managers: Optional[Dict[str, Sequence[Address]]] = None,
+        name_service: Optional[Address] = None,
+        authenticator: Optional[Authenticator] = None,
+        clock=None,
+        manager_authenticator: Optional[Authenticator] = None,
+    ):
+        super().__init__(
+            address,
+            policy,
+            managers=managers,
+            name_service=name_service,
+            clock=clock,
+            manager_authenticator=manager_authenticator,
+        )
+        self.authenticator = authenticator
+        self.applications: Dict[str, Application] = {}
+        self.rejected_signatures = 0
+        self.application_errors = 0
+
+    def deploy(self, application: Application) -> Application:
+        """Install an application behind the wrapper."""
+        if application.name in self.applications:
+            raise ValueError(f"{application.name!r} already deployed on {self.address}")
+        self.applications[application.name] = application
+        application.on_deploy(self)
+        return application
+
+    # -- request interception -----------------------------------------------------
+    def handle_other_message(self, src: Address, message: Any) -> None:
+        request: Optional[AppRequest] = None
+        if isinstance(message, SignedMessage):
+            if self.authenticator is None or not self.authenticator.authenticate(message):
+                self.rejected_signatures += 1
+                if isinstance(message.payload, AppRequest):
+                    self._reject(src, message.payload, "authentication failed")
+                return
+            payload = message.payload
+            if isinstance(payload, AppRequest):
+                if payload.user != message.signature.signer:
+                    # Signed by someone other than the claimed user.
+                    self.rejected_signatures += 1
+                    self._reject(src, payload, "signer mismatch")
+                    return
+                request = payload
+        elif isinstance(message, AppRequest):
+            if self.authenticator is not None:
+                # Policy: when authentication is configured, unsigned
+                # requests are rejected outright.
+                self._reject(src, message, "unsigned request")
+                return
+            request = message
+        if request is None:
+            raise NotImplementedError(
+                f"application host cannot handle {type(message).__name__}"
+            )
+        self.spawn(
+            self._serve(src, request),
+            name=f"{self.address}/serve:{request.request_id}",
+        )
+
+    def _serve(self, src: Address, request: AppRequest):
+        """Check the use right, then invoke the application."""
+        application = self.applications.get(request.application)
+        if application is None:
+            self._reject(src, request, "no such application")
+            return
+        decision = yield self.request_access(
+            request.application, request.user, Right.USE
+        )
+        if not decision.allowed:
+            self._reject(src, request, f"access denied ({decision.reason})")
+            return
+        try:
+            result = application.handle_request(request.user, request.payload)
+        except Exception as exc:
+            # An application bug must not kill the host's serving loop;
+            # surface it to the client as an error response instead.
+            self.application_errors += 1
+            self._reject(
+                src, request, f"application error: {type(exc).__name__}: {exc}"
+            )
+            return
+        self.send(
+            src,
+            AppResponse(
+                request_id=request.request_id,
+                application=request.application,
+                allowed=True,
+                result=result,
+                reason=decision.reason,
+            ),
+        )
+
+    def _reject(self, src: Address, request: AppRequest, reason: str) -> None:
+        self.send(
+            src,
+            AppResponse(
+                request_id=request.request_id,
+                application=request.application,
+                allowed=False,
+                result=None,
+                reason=reason,
+            ),
+        )

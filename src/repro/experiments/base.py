@@ -1,0 +1,110 @@
+"""Experiment framework: uniform results that print like the paper.
+
+Every experiment runner returns an :class:`ExperimentResult` whose rows
+reproduce one table or figure of the paper (or a validation/ablation
+the paper's claims imply).  Results render as aligned text tables —
+the same rows EXPERIMENTS.md records — and as machine-readable dicts
+for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "ascii_plot"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.5f}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an aligned monospace table."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rendered)) if rendered else len(col)
+        for i, col in enumerate(columns)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    header = line(list(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in rendered)
+    return "\n".join([header, separator, body]) if rows else "\n".join([header, separator])
+
+
+def ascii_plot(
+    series: Dict[str, List[float]],
+    x_values: List[Any],
+    height: int = 12,
+    markers: str = "*o+x#@",
+) -> str:
+    """A small terminal plot for the Figure 5 curves.
+
+    Values are assumed to be probabilities in [0, 1]; one column per x
+    value, one marker per series.
+    """
+    if not series:
+        return "(no data)"
+    width = len(x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, value in enumerate(values[:width]):
+            row = height - 1 - int(round(value * (height - 1)))
+            row = min(height - 1, max(0, row))
+            if grid[row][x] in (" ", marker):
+                grid[row][x] = marker
+            else:
+                grid[row][x] = "#"  # overlap
+    lines = []
+    for row_index, row in enumerate(grid):
+        label = (
+            "1.0 |" if row_index == 0
+            else "0.0 |" if row_index == height - 1
+            else "    |"
+        )
+        lines.append(label + " ".join(row))
+    lines.append("    +" + "-" * (2 * width - 1))
+    lines.append("     " + " ".join(str(x)[0] for x in x_values))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("     " + legend + "  (#=overlap)")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]]
+    notes: str = ""
+    extra_text: str = ""  # e.g. an ascii plot
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dicts keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            parts.append(f"params: {rendered}")
+        parts.append(format_table(self.columns, self.rows))
+        if self.extra_text:
+            parts.append(self.extra_text)
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``repro-experiments [ids...]``.
+
+Runs the requested experiments (default: all) and prints each result
+table.  ``--list`` shows the available ids.  This is how the numbers in
+EXPERIMENTS.md were produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+from typing import List, Optional
+
+from . import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _accepts_seed(experiment_id: str) -> bool:
+    signature = inspect.signature(EXPERIMENTS[experiment_id])
+    return "seed" in signature.parameters
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'Access Control in "
+            "Wide-Area Networks' (ICDCS 1997)."
+        ),
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the random seed of stochastic experiments "
+        "(analytic experiments ignore it)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    ids = args.ids or sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+
+    for experiment_id in ids:
+        kwargs = {}
+        if args.seed is not None and _accepts_seed(experiment_id):
+            kwargs["seed"] = args.seed
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, **kwargs)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.2f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Measurement of simulated runs: availability, security, overhead, latency."""
+
+from .collectors import (
+    CONTROL_MESSAGE_KINDS,
+    AvailabilityReport,
+    MessageCountCollector,
+    OverheadReport,
+    QuorumLatencyCollector,
+    SecurityReport,
+    availability_report,
+    latency_by_reason,
+    overhead_report,
+    security_report,
+)
+from .estimators import SummaryStats, percentile, summarize, wilson_interval
+from .timeline import TimelinePoint, availability_timeline, sparkline
+
+__all__ = [
+    "CONTROL_MESSAGE_KINDS",
+    "AvailabilityReport",
+    "MessageCountCollector",
+    "OverheadReport",
+    "QuorumLatencyCollector",
+    "SecurityReport",
+    "SummaryStats",
+    "TimelinePoint",
+    "availability_report",
+    "latency_by_reason",
+    "overhead_report",
+    "percentile",
+    "security_report",
+    "availability_timeline",
+    "sparkline",
+    "summarize",
+    "wilson_interval",
+]

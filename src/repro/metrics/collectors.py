@@ -1,0 +1,282 @@
+"""Metric collection for simulated runs.
+
+The empirical counterparts of the paper's quantities:
+
+* **Availability** (``PA``) — "the probability that a host is able to
+  verify the access control information of a legitimate user in a
+  timely fashion": fraction of access attempts by *authorized* users
+  that were allowed (optionally within a latency bound).
+
+* **Security** (``PS``) — "the probability that a manager is able to
+  revoke globally the access rights of a user in a timely fashion":
+  fraction of issued revocations whose update quorum was reached
+  promptly, plus the hard invariant check that no access is allowed
+  past ``t_revoke + Te``.
+
+* **Overhead** — control messages per simulated second, the measured
+  side of the paper's ``O(C/Te)``.
+
+* **Latency** — decision latency split by path (cache hit, verified,
+  default-allow, ...), the measured side of ``O(C)`` / ``O(R)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.trace import TraceKind, TraceRecord, Tracer
+from ..workloads.generators import AuthorizationOracle, ObservedDecision
+from .estimators import SummaryStats, summarize, wilson_interval
+
+__all__ = [
+    "AvailabilityReport",
+    "CONTROL_MESSAGE_KINDS",
+    "MessageCountCollector",
+    "OverheadReport",
+    "QuorumLatencyCollector",
+    "SecurityReport",
+    "availability_report",
+    "latency_by_reason",
+    "overhead_report",
+    "security_report",
+]
+
+#: Message kinds that constitute protocol (control) traffic, as opposed
+#: to application payload traffic.
+CONTROL_MESSAGE_KINDS = frozenset(
+    {
+        "QueryRequest",
+        "QueryResponse",
+        "UpdateMsg",
+        "UpdateAck",
+        "RevokeNotify",
+        "RevokeNotifyAck",
+        "SyncRequest",
+        "SyncResponse",
+        "Ping",
+        "Pong",
+        "NameLookup",
+        "NameResult",
+    }
+)
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Empirical ``PA`` over a run."""
+
+    authorized_attempts: int
+    authorized_allowed: int
+    unauthorized_attempts: int
+    unauthorized_allowed: int  # default-allow lets these through by design
+    availability: float
+    confidence: Tuple[float, float]
+
+    def __str__(self) -> str:
+        low, high = self.confidence
+        return (
+            f"PA={self.availability:.5f} [{low:.5f}, {high:.5f}] "
+            f"({self.authorized_allowed}/{self.authorized_attempts} authorized allowed)"
+        )
+
+
+def availability_report(
+    observations: Iterable[ObservedDecision],
+    latency_bound: Optional[float] = None,
+) -> AvailabilityReport:
+    """Measure availability from a workload's observed decisions.
+
+    ``latency_bound`` tightens "timely fashion": an allowed decision
+    slower than the bound counts as unavailable.
+    """
+    authorized_attempts = authorized_allowed = 0
+    unauthorized_attempts = unauthorized_allowed = 0
+    for observed in observations:
+        timely = (
+            observed.decision.allowed
+            and (latency_bound is None or observed.decision.latency <= latency_bound)
+        )
+        if observed.authorized:
+            authorized_attempts += 1
+            if timely:
+                authorized_allowed += 1
+        else:
+            unauthorized_attempts += 1
+            if observed.decision.allowed:
+                unauthorized_allowed += 1
+    availability = (
+        authorized_allowed / authorized_attempts if authorized_attempts else 1.0
+    )
+    return AvailabilityReport(
+        authorized_attempts=authorized_attempts,
+        authorized_allowed=authorized_allowed,
+        unauthorized_attempts=unauthorized_attempts,
+        unauthorized_allowed=unauthorized_allowed,
+        availability=availability,
+        confidence=wilson_interval(authorized_allowed, authorized_attempts)
+        if authorized_attempts
+        else (0.0, 1.0),
+    )
+
+
+@dataclass(frozen=True)
+class SecurityReport:
+    """Empirical ``PS`` plus the hard Te-bound invariant."""
+
+    revocations_issued: int
+    quorums_reached: int
+    timely_quorums: int
+    security: float  # timely quorums / issued
+    confidence: Tuple[float, float]
+    quorum_latency: Optional[SummaryStats]
+    te_violations: int  # accesses allowed past t_revoke + Te (must be 0)
+    grace_window_allows: int  # allowed within the legal Te window
+
+    def __str__(self) -> str:
+        low, high = self.confidence
+        return (
+            f"PS={self.security:.5f} [{low:.5f}, {high:.5f}] "
+            f"({self.timely_quorums}/{self.revocations_issued} timely), "
+            f"Te violations={self.te_violations}"
+        )
+
+
+class QuorumLatencyCollector:
+    """Live collector of update-quorum latencies.
+
+    Subscribes to ``UPDATE_QUORUM_REACHED`` trace records, so it works
+    even when the tracer keeps no log.  Create it *before* running the
+    simulation.
+    """
+
+    def __init__(self, tracer: Tracer, grants: bool = True, revokes: bool = True):
+        self.grants = grants
+        self.revokes = revokes
+        self.latencies: List[float] = []
+        self.reached = 0
+        tracer.subscribe([TraceKind.UPDATE_QUORUM_REACHED], self._on_record)
+
+    def _on_record(self, record: TraceRecord) -> None:
+        is_grant = record.data.get("grant", False)
+        if is_grant and not self.grants:
+            return
+        if not is_grant and not self.revokes:
+            return
+        self.reached += 1
+        self.latencies.append(record.data["elapsed"])
+
+    def timely(self, bound: float) -> int:
+        return sum(1 for latency in self.latencies if latency <= bound)
+
+
+def security_report(
+    observations: Iterable[ObservedDecision],
+    oracle: AuthorizationOracle,
+    revocations_issued: int,
+    quorum_collector: QuorumLatencyCollector,
+    timeliness_bound: float,
+) -> SecurityReport:
+    """Measure security from quorum latencies and the access record.
+
+    ``timeliness_bound`` defines "timely": the paper's notion is that
+    the update quorum (the point where the ``Te`` guarantee starts) is
+    obtained promptly; partitions among managers delay or prevent it.
+    """
+    te_violations = 0
+    grace_allows = 0
+    for observed in observations:
+        if not observed.decision.allowed or observed.authorized:
+            continue
+        decided_at = observed.time + observed.decision.latency
+        if oracle.violation(observed.application, observed.user, decided_at):
+            te_violations += 1
+        elif oracle.in_grace(observed.application, observed.user, decided_at):
+            grace_allows += 1
+    timely = quorum_collector.timely(timeliness_bound)
+    security = timely / revocations_issued if revocations_issued else 1.0
+    return SecurityReport(
+        revocations_issued=revocations_issued,
+        quorums_reached=quorum_collector.reached,
+        timely_quorums=timely,
+        security=security,
+        confidence=wilson_interval(timely, revocations_issued)
+        if revocations_issued
+        else (0.0, 1.0),
+        quorum_latency=summarize(quorum_collector.latencies),
+        te_violations=te_violations,
+        grace_window_allows=grace_allows,
+    )
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Protocol message traffic over a run."""
+
+    duration: float
+    control_messages: int
+    app_messages: int
+    by_kind: Dict[str, int]
+    control_rate: float  # control messages per simulated second
+
+    def __str__(self) -> str:
+        return (
+            f"control={self.control_messages} ({self.control_rate:.3f}/s), "
+            f"app={self.app_messages} over {self.duration:.0f}s"
+        )
+
+
+class MessageCountCollector:
+    """Counts sent messages by kind (subscribe before running)."""
+
+    def __init__(self, tracer: Tracer):
+        self.by_kind: Dict[str, int] = {}
+        tracer.subscribe([TraceKind.MSG_SENT], self._on_record)
+
+    def _on_record(self, record: TraceRecord) -> None:
+        kind = record.data.get("message_kind", "?")
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+def overhead_report(
+    collector: MessageCountCollector,
+    duration: float,
+    control_kinds: frozenset = CONTROL_MESSAGE_KINDS,
+) -> OverheadReport:
+    """Summarise message traffic gathered by a ``MessageCountCollector``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    control = sum(
+        count for kind, count in collector.by_kind.items() if kind in control_kinds
+    )
+    app = sum(
+        count for kind, count in collector.by_kind.items() if kind not in control_kinds
+    )
+    return OverheadReport(
+        duration=duration,
+        control_messages=control,
+        app_messages=app,
+        by_kind=dict(collector.by_kind),
+        control_rate=control / duration,
+    )
+
+
+def latency_by_reason(
+    observations: Iterable[ObservedDecision],
+) -> Dict[str, SummaryStats]:
+    """Decision latency summaries keyed by decision reason.
+
+    The paper's cost claims map onto reasons: ``cache`` should be ~0,
+    ``verified`` ~ one round trip (parallel) or C round trips
+    (sequential), ``default_allow``/``exhausted`` ~ R timeouts.
+    """
+    buckets: Dict[str, List[float]] = {}
+    for observed in observations:
+        buckets.setdefault(observed.decision.reason, []).append(
+            observed.decision.latency
+        )
+    return {
+        reason: summary
+        for reason, values in buckets.items()
+        if (summary := summarize(values)) is not None
+    }

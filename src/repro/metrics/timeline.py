@@ -1,0 +1,90 @@
+"""Windowed time series of protocol behaviour.
+
+Aggregate numbers (one availability figure for a whole run) hide the
+structure the paper cares about: availability *dips while a partition
+is open* and recovers when it heals.  :func:`availability_timeline`
+buckets a workload's observed decisions into fixed windows so those
+dips are visible, testable, and plottable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..workloads.generators import ObservedDecision
+
+__all__ = ["TimelinePoint", "availability_timeline", "sparkline"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One window of the availability series."""
+
+    start: float  # window start (simulated seconds)
+    end: float
+    attempts: int  # authorized attempts that began in the window
+    allowed: int
+
+    @property
+    def availability(self) -> Optional[float]:
+        """Fraction allowed, or None for an empty window."""
+        if self.attempts == 0:
+            return None
+        return self.allowed / self.attempts
+
+
+def availability_timeline(
+    observations: Iterable[ObservedDecision],
+    window: float,
+    end_time: Optional[float] = None,
+) -> List[TimelinePoint]:
+    """Bucket authorized-attempt outcomes into fixed windows.
+
+    Attempts are assigned to the window in which they *began*; the
+    decision's outcome is what counts (so a slow decision's failure
+    lands where the user experienced the wait starting).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    data = [obs for obs in observations if obs.authorized]
+    if not data and end_time is None:
+        return []
+    horizon = end_time if end_time is not None else max(o.time for o in data)
+    n_windows = max(1, int(math.ceil(horizon / window)))
+    attempts = [0] * n_windows
+    allowed = [0] * n_windows
+    for observed in data:
+        index = min(n_windows - 1, int(observed.time // window))
+        attempts[index] += 1
+        if observed.decision.allowed:
+            allowed[index] += 1
+    return [
+        TimelinePoint(
+            start=i * window,
+            end=(i + 1) * window,
+            attempts=attempts[i],
+            allowed=allowed[i],
+        )
+        for i in range(n_windows)
+    ]
+
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(points: Sequence[TimelinePoint]) -> str:
+    """A terminal sparkline of the availability series.
+
+    Empty windows render as ``·``; otherwise eight levels from 0 to 1.
+    """
+    cells = []
+    for point in points:
+        value = point.availability
+        if value is None:
+            cells.append("·")
+        else:
+            level = int(round(value * (len(_SPARK_LEVELS) - 1)))
+            cells.append(_SPARK_LEVELS[max(1, level)] if value > 0 else "_")
+    return "".join(cells)

@@ -1,0 +1,90 @@
+"""Discrete-event simulation substrate.
+
+Everything the reproduction's protocol code runs on: the event loop
+(:mod:`~repro.sim.engine`), drifting local clocks
+(:mod:`~repro.sim.clock`), the unreliable WAN
+(:mod:`~repro.sim.network`), partition models
+(:mod:`~repro.sim.partitions`), host failure injection
+(:mod:`~repro.sim.failures`), seeded randomness
+(:mod:`~repro.sim.rng`) and structured tracing
+(:mod:`~repro.sim.trace`).
+"""
+
+from .clock import ClockFactory, LocalClock, slowness_bound
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .failures import WEEKS, CrashRecoveryInjector, schedule_crash, schedule_recovery
+from .network import (
+    FixedLatency,
+    LatencyModel,
+    Network,
+    ShiftedExponentialLatency,
+    UniformLatency,
+)
+from .node import Address, Node
+from .partitions import (
+    BernoulliPerMessage,
+    ConnectivityModel,
+    DutyCycleModel,
+    FullConnectivity,
+    GroupPartitionModel,
+    PairEpochModel,
+    SampledConnectivity,
+    ScriptedConnectivity,
+    StaticPartition,
+    pair_key,
+)
+from .rng import RngStreams, derive_seed
+from .storage import StableStore
+from .trace import TraceKind, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Address",
+    "BernoulliPerMessage",
+    "ClockFactory",
+    "Condition",
+    "ConnectivityModel",
+    "CrashRecoveryInjector",
+    "DutyCycleModel",
+    "Environment",
+    "Event",
+    "FixedLatency",
+    "FullConnectivity",
+    "GroupPartitionModel",
+    "Interrupt",
+    "LatencyModel",
+    "LocalClock",
+    "Network",
+    "Node",
+    "PairEpochModel",
+    "Process",
+    "RngStreams",
+    "SampledConnectivity",
+    "ScriptedConnectivity",
+    "ShiftedExponentialLatency",
+    "StableStore",
+    "SimulationError",
+    "StaticPartition",
+    "Timeout",
+    "TraceKind",
+    "TraceRecord",
+    "Tracer",
+    "UniformLatency",
+    "WEEKS",
+    "derive_seed",
+    "pair_key",
+    "schedule_crash",
+    "schedule_recovery",
+    "slowness_bound",
+]

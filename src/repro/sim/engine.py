@@ -1,0 +1,452 @@
+"""Deterministic discrete-event simulation engine.
+
+This module provides the execution substrate for every simulated
+experiment in the reproduction: a single-threaded event loop with
+generator-based processes, in the style popularised by SimPy but
+implemented from scratch so the repository has no runtime dependencies.
+
+Concepts
+--------
+``Environment``
+    Owns simulated time and the pending-event queue.  ``env.run()``
+    executes events in time order; ties are broken by scheduling order,
+    which makes every run fully deterministic.
+
+``Event``
+    A one-shot occurrence that processes can wait on.  An event is
+    *triggered* (scheduled for processing) by ``succeed`` or ``fail``
+    and *processed* once its callbacks have run.
+
+``Process``
+    Wraps a Python generator.  The generator yields events; when a
+    yielded event is processed the generator is resumed with the event's
+    value (or the stored exception is thrown into it).  A ``Process`` is
+    itself an event that fires when the generator returns, so processes
+    can wait on each other.
+
+``Timeout``
+    An event that fires after a fixed delay.
+
+``AnyOf`` / ``AllOf``
+    Composite conditions, used throughout the protocol code for
+    "response or timeout" races.
+
+``Interrupt``
+    Exception thrown into a process by ``Process.interrupt``.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+]
+
+#: Scheduling priority for events that must run before ordinary events at
+#: the same timestamp (currently only used internally by ``Environment``).
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to abort ``Environment.run``."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that can be waited upon.
+
+    Life cycle: *pending* -> *triggered* (``succeed``/``fail`` called, the
+    event sits in the queue) -> *processed* (callbacks have run).
+    Callbacks appended after processing would never run, so appending to
+    ``callbacks`` once the event is processed raises ``SimulationError``.
+    """
+
+    __slots__ = ("env", "_value", "_ok", "_triggered", "_processed", "_callbacks")
+
+    #: Sentinel for "no value yet".
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed`` or ``fail`` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if the event succeeded, False if it failed, None if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``.
+
+        ``delay`` defers processing by simulated time; the default of 0
+        processes the event at the current time, after already-queued
+        events for this instant.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters have ``exception`` thrown."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self, delay)
+        return self
+
+    # -- waiting ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (this keeps "wait on an already-fired event" safe).
+        """
+        if self._processed:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self._processed
+            else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running process; fires when its generator returns.
+
+    The wrapped generator yields :class:`Event` instances.  When a
+    yielded event succeeds, the generator is resumed with the event's
+    value; when it fails, the exception is thrown into the generator.
+    The generator's return value becomes the process's event value.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current instant.
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap._triggered = True
+        bootstrap.add_callback(self._resume)
+        env._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process raises ``SimulationError``; the
+        caller is expected to check :attr:`is_alive` first when racing.
+        """
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._triggered = True
+        # Detach from whatever the process was waiting on so the stale
+        # event does not resume it a second time.
+        if self._target is not None:
+            target = self._target
+            if not target._processed:
+                try:
+                    target._callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+        interrupt_event.add_callback(self._resume)
+        self.env._schedule(interrupt_event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # process died with an exception
+            self.fail(exc)
+            return
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_event!r}, expected an Event"
+            )
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class Condition(Event):
+    """Base for composite events over a list of sub-events."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("all condition events must share one environment")
+        self._pending = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._check)
+
+    def _evaluate(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        self._evaluate(event)
+
+    def _results(self) -> dict[Event, Any]:
+        """Map each already-processed sub-event to its value."""
+        return {e: e._value for e in self._events if e._processed and e._ok}
+
+
+class AnyOf(Condition):
+    """Fires as soon as any sub-event succeeds.
+
+    The value is a dict of the sub-events that had succeeded at that
+    point, mapped to their values.
+    """
+
+    __slots__ = ()
+
+    def _evaluate(self, event: Event) -> None:
+        self.succeed(self._results())
+
+
+class AllOf(Condition):
+    """Fires once all sub-events have succeeded; value maps events to values."""
+
+    __slots__ = ()
+
+    def _evaluate(self, event: Event) -> None:
+        if self._pending == 0:
+            self.succeed(self._results())
+
+
+class Environment:
+    """Simulated-time event loop.
+
+    All scheduling is deterministic: events at the same timestamp run in
+    the order they were scheduled.  Simulated time is a ``float`` in
+    arbitrary units; the reproduction's protocol code treats the unit as
+    one second.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a process driving ``generator``; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        When ``until`` is given, time is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run``
+        calls observe contiguous time.
+        """
+        if self._active:
+            raise SimulationError("environment is already running")
+        self._active = True
+        try:
+            if until is not None and until < self._now:
+                raise SimulationError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    break
+                self.step()
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._active = False
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

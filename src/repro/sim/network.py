@@ -1,0 +1,241 @@
+"""Unreliable wide-area network simulation.
+
+The paper's network component "provides (unreliable) point-to-point and
+multicast communication".  This module models exactly that: messages
+between attached :class:`~repro.sim.node.Node` objects are delayed by a
+pluggable :class:`LatencyModel` and dropped whenever the pluggable
+connectivity model (see :mod:`repro.sim.partitions`) says the endpoints
+are partitioned, whenever either endpoint is crashed, or whenever the
+random loss process fires.
+
+There are deliberately no acknowledgements, retransmissions, or FIFO
+guarantees here — reliability is the protocol's job, which is the whole
+point of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, Optional
+
+from .engine import Environment
+from .node import Address, Node
+from .partitions import ConnectivityModel, FullConnectivity
+from .trace import TraceKind, Tracer
+
+__all__ = [
+    "Network",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ShiftedExponentialLatency",
+]
+
+
+class LatencyModel:
+    """Samples one-way message latency in simulated seconds."""
+
+    def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant latency; the default for deterministic unit tests."""
+
+    def __init__(self, delay: float = 0.05):
+        if delay < 0:
+            raise ValueError("latency must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ShiftedExponentialLatency(LatencyModel):
+    """``minimum + Exp(mean_extra)`` — a common WAN round-trip shape:
+    a propagation floor plus heavy-tailed queueing delay."""
+
+    def __init__(self, minimum: float = 0.02, mean_extra: float = 0.03):
+        if minimum < 0 or mean_extra < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.minimum = minimum
+        self.mean_extra = mean_extra
+
+    def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        extra = rng.expovariate(1.0 / self.mean_extra) if self.mean_extra > 0 else 0.0
+        return self.minimum + extra
+
+
+class Network:
+    """Connects nodes; applies latency, partitions, crashes, and loss.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    connectivity:
+        A :class:`~repro.sim.partitions.ConnectivityModel`; defaults to
+        full connectivity.
+    latency:
+        A :class:`LatencyModel`; defaults to 50 ms fixed.
+    loss_rate:
+        Independent per-message drop probability on top of partitions
+        (models congestion loss distinct from full partition).
+    duplicate_rate:
+        Independent probability that a delivered message is delivered
+        twice (at-least-once links; the protocol's acks and idempotent
+        merges must tolerate this).
+    tracer:
+        Optional tracer; message sends/deliveries/drops are published.
+    rng:
+        Random stream for latency and loss draws.
+    recheck_on_delivery:
+        When True, a message is also dropped if the endpoints are
+        partitioned at *delivery* time (a partition that begins while
+        the message is in flight kills it).  The paper's protocol must
+        tolerate either semantics; tests exercise both.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        connectivity: Optional[ConnectivityModel] = None,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[random.Random] = None,
+        recheck_on_delivery: bool = False,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ValueError(
+                f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
+            )
+        self.env = env
+        self.connectivity = connectivity or FullConnectivity()
+        self.latency = latency or FixedLatency()
+        self.loss_rate = loss_rate
+        self.duplicate_rate = duplicate_rate
+        self.tracer = tracer or Tracer(env)
+        self.rng = rng or random.Random(0)
+        self.recheck_on_delivery = recheck_on_delivery
+        self.nodes: Dict[Address, Node] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.connectivity.attach(env, self.rng, self.tracer)
+
+    # -- membership -----------------------------------------------------------
+    def register(self, node: Node) -> Node:
+        """Attach ``node``; its address must be unique."""
+        if node.address in self.nodes:
+            raise ValueError(f"duplicate address {node.address!r}")
+        self.nodes[node.address] = node
+        node.attach(self)
+        return node
+
+    def node(self, address: Address) -> Node:
+        return self.nodes[address]
+
+    def addresses(self) -> list[Address]:
+        return list(self.nodes)
+
+    # -- reachability -------------------------------------------------------------
+    def reachable(self, a: Address, b: Address) -> bool:
+        """True when ``a`` and ``b`` are both up and not partitioned.
+
+        This is the *instantaneous* truth used by the delivery decision;
+        protocol code must never call it (nodes cannot observe it).
+        """
+        node_a, node_b = self.nodes.get(a), self.nodes.get(b)
+        if node_a is None or node_b is None:
+            return False
+        if not node_a.up or not node_b.up:
+            return False
+        return a == b or self.connectivity.is_reachable(a, b)
+
+    # -- transmission -----------------------------------------------------------
+    def send(self, src: Address, dst: Address, message: Any) -> None:
+        """Fire-and-forget unicast from ``src`` to ``dst``."""
+        if src not in self.nodes:
+            raise ValueError(f"unknown source {src!r}")
+        if dst not in self.nodes:
+            raise ValueError(f"unknown destination {dst!r}")
+        self.messages_sent += 1
+        self.tracer.publish(
+            TraceKind.MSG_SENT, src, dst=dst, message_kind=type(message).__name__
+        )
+        src_node = self.nodes[src]
+        if not src_node.up:
+            self._drop(src, dst, message, "source down")
+            return
+        if src != dst and not self.connectivity.is_reachable(src, dst):
+            self._drop(src, dst, message, "partitioned")
+            return
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self._drop(src, dst, message, "random loss")
+            return
+        copies = 1
+        if self.duplicate_rate > 0 and self.rng.random() < self.duplicate_rate:
+            copies = 2
+            self.messages_duplicated += 1
+        for _ in range(copies):
+            delay = self.latency.sample(self.rng, src, dst) if src != dst else 0.0
+            deliver = self.env.event()
+            deliver.add_callback(lambda _e: self._deliver(src, dst, message))
+            deliver._ok = True
+            deliver._value = None
+            deliver._triggered = True
+            self.env._schedule(deliver, delay)
+
+    def multicast(self, src: Address, dsts: Iterable[Address], message: Any) -> None:
+        """Unreliable multicast: an independent unicast per destination."""
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    def _deliver(self, src: Address, dst: Address, message: Any) -> None:
+        dst_node = self.nodes.get(dst)
+        if dst_node is None or not dst_node.up:
+            self._drop(src, dst, message, "destination down")
+            return
+        if self.recheck_on_delivery and src != dst:
+            if not self.connectivity.is_reachable(src, dst):
+                self._drop(src, dst, message, "partitioned in flight")
+                return
+        self.messages_delivered += 1
+        self.tracer.publish(
+            TraceKind.MSG_DELIVERED, dst, src=src, message_kind=type(message).__name__
+        )
+        dst_node.handle_message(src, message)
+
+    def _drop(self, src: Address, dst: Address, message: Any, reason: str) -> None:
+        self.messages_dropped += 1
+        self.tracer.publish(
+            TraceKind.MSG_DROPPED,
+            src,
+            dst=dst,
+            message_kind=type(message).__name__,
+            reason=reason,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network nodes={len(self.nodes)} sent={self.messages_sent} "
+            f"delivered={self.messages_delivered} dropped={self.messages_dropped}>"
+        )

@@ -1,0 +1,62 @@
+"""Stable storage — the disk that survives crashes.
+
+The paper's manager failure model ("managers always provide correct
+information or do not provide any information at all, i.e., they only
+experience crash or performance failures") presumes the authoritative
+ACL survives a crash.  :class:`StableStore` makes that assumption a
+real mechanism instead of an implicit property of Python memory: a
+manager writes every applied entry through the store, loses its
+in-memory state on crash, and reloads from the store on recovery.
+
+Values are deep-copied on both write and read so in-memory aliasing
+cannot masquerade as durability (a classic simulation bug: mutating an
+object after "writing" it would silently mutate the "disk" too).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List
+
+__all__ = ["StableStore"]
+
+
+class StableStore:
+    """A crash-surviving key-value store with write accounting."""
+
+    def __init__(self, name: str = "disk"):
+        self.name = name
+        self._data: Dict[str, Any] = {}
+        self.writes = 0
+        self.reads = 0
+        self.deletes = 0
+
+    def write(self, key: str, value: Any) -> None:
+        """Durably store ``value`` under ``key`` (copy-on-write)."""
+        self.writes += 1
+        self._data[key] = copy.deepcopy(value)
+
+    def read(self, key: str, default: Any = None) -> Any:
+        """Read a copy of the stored value (or ``default``)."""
+        self.reads += 1
+        if key not in self._data:
+            return default
+        return copy.deepcopy(self._data[key])
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+        self.deletes += 1
+        return self._data.pop(key, None) is not None
+
+    def keys(self, prefix: str = "") -> List[str]:
+        """All stored keys with the given prefix, sorted."""
+        return sorted(key for key in self._data if key.startswith(prefix))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"<StableStore {self.name!r} keys={len(self._data)} writes={self.writes}>"

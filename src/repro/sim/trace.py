@@ -1,0 +1,148 @@
+"""Structured event tracing.
+
+Protocol components publish typed trace records to a :class:`Tracer`;
+metrics collectors (``repro.metrics``) subscribe to the record kinds
+they care about.  Tracing is how every empirical number in
+EXPERIMENTS.md is measured, so the record vocabulary below is part of
+the reproduction's public surface.
+
+Records are cheap named tuples; a tracer with no subscribers costs one
+dict lookup per publish, so tracing can stay on in benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, Iterable, List, Optional
+from collections import defaultdict
+
+__all__ = ["TraceRecord", "Tracer", "TraceKind"]
+
+
+class TraceKind:
+    """Vocabulary of trace-record kinds published by the reproduction.
+
+    Grouped by publisher.  Components may publish additional ad-hoc
+    kinds; collectors should ignore kinds they do not understand.
+    """
+
+    # -- network -----------------------------------------------------------
+    MSG_SENT = "msg_sent"
+    MSG_DELIVERED = "msg_delivered"
+    MSG_DROPPED = "msg_dropped"
+
+    # -- host-side access control -------------------------------------------
+    ACCESS_REQUESTED = "access_requested"
+    ACCESS_ALLOWED = "access_allowed"  # via a verified right
+    ACCESS_DENIED = "access_denied"
+    ACCESS_DEFAULT_ALLOWED = "access_default_allowed"  # Figure 4 rule
+    ACCESS_UNRESOLVED = "access_unresolved"  # R exhausted, deny policy
+    CACHE_HIT = "cache_hit"
+    CACHE_MISS = "cache_miss"
+    CACHE_EXPIRED = "cache_expired"
+    CACHE_FLUSHED = "cache_flushed"  # revocation notification arrived
+    QUERY_SENT = "query_sent"
+    QUERY_ANSWERED = "query_answered"
+    QUERY_TIMEOUT = "query_timeout"
+
+    # -- manager-side access control -----------------------------------------
+    UPDATE_ISSUED = "update_issued"
+    UPDATE_QUORUM_REACHED = "update_quorum_reached"
+    UPDATE_FULLY_PROPAGATED = "update_fully_propagated"
+    REVOKE_FORWARDED = "revoke_forwarded"
+    MANAGER_FROZEN = "manager_frozen"
+    MANAGER_UNFROZEN = "manager_unfrozen"
+    MANAGER_RESYNCED = "manager_resynced"
+
+    # -- failures -------------------------------------------------------------
+    HOST_CRASHED = "host_crashed"
+    HOST_RECOVERED = "host_recovered"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    PARTITION_STARTED = "partition_started"
+    PARTITION_HEALED = "partition_healed"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One published trace record.
+
+    Attributes
+    ----------
+    time:
+        Simulated (real, not local-clock) time of the record.
+    kind:
+        One of the :class:`TraceKind` constants.
+    source:
+        Address or name of the publishing component.
+    data:
+        Kind-specific payload.
+    """
+
+    time: float
+    kind: str
+    source: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Publish/subscribe hub for :class:`TraceRecord`.
+
+    Subscribers register for specific kinds (or ``None`` for all kinds).
+    Optionally keeps an in-memory log of everything published, which the
+    tests use for fine-grained assertions.
+    """
+
+    def __init__(self, env, keep_log: bool = False):
+        self.env = env
+        self.keep_log = keep_log
+        self.log: List[TraceRecord] = []
+        self._by_kind: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+        self._wildcard: List[Subscriber] = []
+        self._counts: DefaultDict[str, int] = defaultdict(int)
+
+    def subscribe(self, kinds: Optional[Iterable[str]], subscriber: Subscriber) -> None:
+        """Deliver records of the given ``kinds`` (or all, if None)."""
+        if kinds is None:
+            self._wildcard.append(subscriber)
+        else:
+            for kind in kinds:
+                self._by_kind[kind].append(subscriber)
+
+    def publish(self, kind: str, source: str, **data: Any) -> None:
+        """Publish a record stamped with the current simulated time."""
+        self._counts[kind] += 1
+        subscribers = self._by_kind.get(kind)
+        if not subscribers and not self._wildcard and not self.keep_log:
+            return  # fast path: nobody is listening
+        record = TraceRecord(time=self.env.now, kind=kind, source=source, data=data)
+        if self.keep_log:
+            self.log.append(record)
+        if subscribers:
+            for subscriber in subscribers:
+                subscriber(record)
+        for subscriber in self._wildcard:
+            subscriber(record)
+
+    def count(self, kind: str) -> int:
+        """Number of records of ``kind`` published so far (log-independent)."""
+        return self._counts[kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Copy of all per-kind publish counts."""
+        return dict(self._counts)
+
+    def records(self, kind: Optional[str] = None) -> List[TraceRecord]:
+        """Logged records, optionally filtered by kind (requires keep_log)."""
+        if not self.keep_log:
+            raise RuntimeError("Tracer was created with keep_log=False")
+        if kind is None:
+            return list(self.log)
+        return [r for r in self.log if r.kind == kind]
+
+    def __repr__(self) -> str:
+        total = sum(self._counts.values())
+        return f"<Tracer records={total} kinds={len(self._counts)}>"

@@ -1,0 +1,22 @@
+"""Workload generation: user populations, access/update traffic, scenarios."""
+
+from .generators import (
+    AccessWorkload,
+    AuthorizationOracle,
+    FlashCrowdWorkload,
+    ObservedDecision,
+    UpdateWorkload,
+)
+from .population import UserPopulation
+from .scenarios import Scenario, steady_state_scenario
+
+__all__ = [
+    "AccessWorkload",
+    "AuthorizationOracle",
+    "FlashCrowdWorkload",
+    "ObservedDecision",
+    "Scenario",
+    "UpdateWorkload",
+    "UserPopulation",
+    "steady_state_scenario",
+]

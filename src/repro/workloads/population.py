@@ -1,0 +1,63 @@
+"""User populations with realistic popularity skew.
+
+The paper assumes applications "may have a large number of users" and
+that "the frequency at which an application is used is much higher than
+the frequency at which a manager adds or revokes access rights".  A
+:class:`UserPopulation` provides the user universe and a Zipf-like
+popularity distribution over it, so cache behaviour in simulations has
+the hot-user/cold-user structure real services see.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+__all__ = ["UserPopulation"]
+
+
+class UserPopulation:
+    """A fixed set of users with Zipf(``s``) access popularity.
+
+    ``s = 0`` gives uniform popularity; ``s ~ 1`` is the classic
+    heavy-tailed web-workload shape.
+    """
+
+    def __init__(self, n_users: int, zipf_s: float = 1.0, prefix: str = "u"):
+        if n_users < 1:
+            raise ValueError("population needs at least one user")
+        if zipf_s < 0:
+            raise ValueError("zipf exponent must be non-negative")
+        self.users: List[str] = [f"{prefix}{i}" for i in range(n_users)]
+        self.zipf_s = zipf_s
+        weights = [1.0 / (rank**zipf_s) for rank in range(1, n_users + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(w / total for w in weights)
+        )
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one user by popularity."""
+        index = bisect.bisect_left(self._cumulative, rng.random())
+        return self.users[min(index, len(self.users) - 1)]
+
+    def sample_many(self, rng: random.Random, count: int) -> List[str]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def popularity(self, user: str) -> float:
+        """Stationary probability of this user being sampled."""
+        index = self.users.index(user)
+        previous = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - previous
+
+    def head(self, count: int) -> Sequence[str]:
+        """The ``count`` most popular users."""
+        return self.users[:count]

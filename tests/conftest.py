@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import FixedLatency, Network
+from repro.sim.partitions import ScriptedConnectivity
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def tracer(env) -> Tracer:
+    return Tracer(env, keep_log=True)
+
+
+@pytest.fixture
+def connectivity() -> ScriptedConnectivity:
+    return ScriptedConnectivity()
+
+
+@pytest.fixture
+def network(env, tracer, connectivity) -> Network:
+    """Deterministic network: scripted links, fixed 50 ms latency."""
+    return Network(
+        env,
+        connectivity=connectivity,
+        latency=FixedLatency(0.05),
+        tracer=tracer,
+    )

@@ -1,0 +1,80 @@
+"""Tests for the policy advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.advisor import (
+    InfeasibleTargets,
+    Recommendation,
+    recommend_policy,
+)
+from repro.analysis.quorum_math import availability, security
+
+
+class TestRecommendPolicy:
+    def test_paper_setting_picks_middle_c(self):
+        rec = recommend_policy(10, 0.1, min_availability=0.999,
+                               min_security=0.99)
+        assert rec.policy.check_quorum in (4, 5)
+        assert rec.predicted_availability >= 0.999
+        assert rec.predicted_security >= 0.99
+
+    def test_feasible_set_is_contiguous_and_correct(self):
+        rec = recommend_policy(10, 0.1, min_availability=0.98,
+                               min_security=0.94)
+        for c in rec.feasible_quorums:
+            assert availability(10, c, 0.1) >= 0.98
+            assert security(10, c, 0.1) >= 0.94
+        lo, hi = min(rec.feasible_quorums), max(rec.feasible_quorums)
+        assert rec.feasible_quorums == list(range(lo, hi + 1))
+
+    def test_preferences_order_choices(self):
+        kwargs = dict(min_availability=0.97, min_security=0.9)
+        low = recommend_policy(10, 0.1, prefer="availability", **kwargs)
+        high = recommend_policy(10, 0.1, prefer="security", **kwargs)
+        cheap = recommend_policy(10, 0.1, prefer="cheap", **kwargs)
+        balanced = recommend_policy(10, 0.1, prefer="balanced", **kwargs)
+        assert low.policy.check_quorum <= balanced.policy.check_quorum
+        assert balanced.policy.check_quorum <= high.policy.check_quorum
+        assert cheap.policy.check_quorum == low.policy.check_quorum
+        assert cheap.predicted_message_rate <= high.predicted_message_rate
+
+    def test_infeasible_suggests_bigger_m(self):
+        with pytest.raises(InfeasibleTargets) as excinfo:
+            recommend_policy(3, 0.2, min_availability=0.999,
+                             min_security=0.999)
+        assert excinfo.value.suggested_m is not None
+        suggested = excinfo.value.suggested_m
+        rec = recommend_policy(suggested, 0.2, min_availability=0.999,
+                               min_security=0.999)
+        assert isinstance(rec, Recommendation)
+
+    def test_truly_impossible_reports_none(self):
+        with pytest.raises(InfeasibleTargets) as excinfo:
+            recommend_policy(3, 0.49, min_availability=0.9999999,
+                             min_security=0.9999999, max_suggested_m=5)
+        assert excinfo.value.suggested_m is None
+
+    def test_overrides_flow_into_policy(self):
+        rec = recommend_policy(10, 0.1, min_availability=0.9,
+                               min_security=0.9, query_timeout=7.0)
+        assert rec.policy.query_timeout == 7.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            recommend_policy(10, 0.1, prefer="vibes")
+        with pytest.raises(ValueError):
+            recommend_policy(10, 0.1, min_availability=0.0)
+
+    def test_recommended_policy_is_usable(self):
+        from repro.core.system import AccessControlSystem
+
+        rec = recommend_policy(5, 0.1, min_availability=0.98,
+                               min_security=0.9)
+        system = AccessControlSystem(n_managers=5, n_hosts=1,
+                                     policy=rec.policy, seed=1)
+        system.seed_grant("app", "u")
+        process = system.hosts[0].request_access("app", "u")
+        system.run(until=10)
+        assert process.value.allowed

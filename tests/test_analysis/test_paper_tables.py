@@ -1,0 +1,73 @@
+"""The paper's printed numbers, verbatim.
+
+These are the reproduction's ground truth: every value of Table 1 and
+Table 2 must come out of our formulas exactly as printed (five decimal
+places), and the Figure 5 qualitative claims must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.quorum_math import availability, best_check_quorum, security
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+class TestTable1:
+    @pytest.mark.parametrize("c", list(range(1, 11)))
+    def test_row_matches_paper(self, c):
+        pa1, ps1, pa2, ps2 = PAPER_TABLE1[c]
+        assert round(availability(10, c, 0.1), 5) == pytest.approx(pa1, abs=1e-9)
+        assert round(security(10, c, 0.1), 5) == pytest.approx(ps1, abs=1e-9)
+        assert round(availability(10, c, 0.2), 5) == pytest.approx(pa2, abs=1e-9)
+        assert round(security(10, c, 0.2), 5) == pytest.approx(ps2, abs=1e-9)
+
+
+class TestTable2:
+    @pytest.mark.parametrize("m,c", sorted(PAPER_TABLE2))
+    def test_row_matches_paper(self, m, c):
+        pa1, ps1, pa2, ps2 = PAPER_TABLE2[(m, c)]
+        assert round(availability(m, c, 0.1), 5) == pytest.approx(pa1, abs=1e-9)
+        assert round(security(m, c, 0.1), 5) == pytest.approx(ps1, abs=1e-9)
+        assert round(availability(m, c, 0.2), 5) == pytest.approx(pa2, abs=1e-9)
+        assert round(security(m, c, 0.2), 5) == pytest.approx(ps2, abs=1e-9)
+
+    def test_fixed_c_half_trades_security_for_availability(self):
+        """Upper half of Table 2: at fixed C=2, growing M helps PA and
+        hurts PS."""
+        ms = [4, 6, 8, 10, 12]
+        pas = [availability(m, 2, 0.2) for m in ms]
+        pss = [security(m, 2, 0.2) for m in ms]
+        assert all(a <= b + 1e-12 for a, b in zip(pas, pas[1:]))
+        assert all(a >= b - 1e-12 for a, b in zip(pss, pss[1:]))
+
+    def test_scaled_c_half_improves_both(self):
+        """Lower half of Table 2: scaling C with M improves both."""
+        pairs = [(4, 2), (6, 3), (8, 4), (10, 5), (12, 6)]
+        pas = [availability(m, c, 0.2) for m, c in pairs]
+        pss = [security(m, c, 0.2) for m, c in pairs]
+        assert all(a <= b + 1e-12 for a, b in zip(pas, pas[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(pss, pss[1:]))
+
+
+class TestFigure5Claims:
+    def test_low_security_at_c_one(self):
+        assert security(10, 1, 0.1) < 0.4
+
+    def test_low_availability_at_c_m(self):
+        assert availability(10, 10, 0.1) < 0.4
+
+    def test_wide_sweet_spot_around_m_over_2(self):
+        """"There is a relatively large range of values of C around M/2
+        where both availability and security are very close to 1."""
+        sweet = [
+            c
+            for c in range(1, 11)
+            if availability(10, c, 0.1) > 0.98 and security(10, c, 0.1) > 0.98
+        ]
+        assert len(sweet) >= 4
+        assert 5 in sweet
+
+    def test_best_c_for_paper_setting(self):
+        assert best_check_quorum(10, 0.1).c == 5

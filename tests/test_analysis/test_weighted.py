@@ -1,0 +1,147 @@
+"""Tests for the weighted-voting quorum extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.quorum_math import availability, binomial_tail, security
+from repro.analysis.weighted import (
+    WeightedQuorumSystem,
+    best_thresholds,
+    best_unit_counts,
+    weight_tail,
+)
+
+
+class TestWeightTail:
+    def test_reduces_to_binomial_for_unit_weights(self):
+        for threshold in range(7):
+            assert weight_tail([1] * 5, [0.8] * 5, threshold) == pytest.approx(
+                binomial_tail(5, threshold, 0.8)
+            )
+
+    def test_threshold_zero_is_certain(self):
+        assert weight_tail([2, 3], [0.1, 0.1], 0) == 1.0
+
+    def test_threshold_above_total_impossible(self):
+        assert weight_tail([2, 3], [0.9, 0.9], 6) == 0.0
+
+    def test_two_managers_by_hand(self):
+        # P[weight >= 3] with weights (2, 3), probs (0.5, 0.4):
+        # only reachable via the 3-vote manager: 0.4.
+        assert weight_tail([2, 3], [0.5, 0.4], 3) == pytest.approx(0.4)
+        # P[weight >= 5] needs both: 0.2.
+        assert weight_tail([2, 3], [0.5, 0.4], 5) == pytest.approx(0.2)
+
+    def test_zero_weight_manager_is_irrelevant(self):
+        with_zero = weight_tail([0, 1, 1], [0.1, 0.8, 0.8], 2)
+        without = weight_tail([1, 1], [0.8, 0.8], 2)
+        assert with_zero == pytest.approx(without)
+
+    def test_monotone_in_threshold(self):
+        values = [weight_tail([1, 2, 3], [0.7, 0.6, 0.5], t) for t in range(8)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            weight_tail([1], [0.5, 0.5], 1)
+        with pytest.raises(ValueError):
+            weight_tail([-1], [0.5], 1)
+        with pytest.raises(ValueError):
+            weight_tail([1], [1.5], 1)
+
+
+class TestWeightedQuorumSystem:
+    def unit_system(self, m=5, c=3):
+        return WeightedQuorumSystem(
+            weights={f"m{i}": 1 for i in range(m)},
+            check_threshold=c,
+            update_threshold=m - c + 1,
+        )
+
+    def test_unit_weights_reproduce_paper_formulas(self):
+        m, c, pi = 5, 3, 0.1
+        system = self.unit_system(m, c)
+        inaccessibility = {f"m{i}": pi for i in range(m)}
+        assert system.availability(inaccessibility) == pytest.approx(
+            availability(m, c, pi)
+        )
+        others = {f"m{i}": pi for i in range(1, m)}
+        assert system.security("m0", others) == pytest.approx(security(m, c, pi))
+
+    def test_intersection_enforced(self):
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem(
+                weights={"a": 1, "b": 1}, check_threshold=1, update_threshold=1
+            )
+
+    def test_threshold_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem(
+                weights={"a": 1}, check_threshold=0, update_threshold=2
+            )
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem(
+                weights={"a": 1, "b": 2}, check_threshold=4, update_threshold=1
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedQuorumSystem(weights={}, check_threshold=1, update_threshold=1)
+
+    def test_unknown_origin_rejected(self):
+        system = self.unit_system()
+        with pytest.raises(KeyError):
+            system.security("ghost", {})
+
+    def test_origin_weight_counts_toward_update(self):
+        """An origin holding the entire update threshold needs nobody."""
+        system = WeightedQuorumSystem(
+            weights={"big": 3, "small": 1},
+            check_threshold=3,
+            update_threshold=2,
+        )
+        assert system.security("big", {"small": 0.99}) == 1.0
+
+
+class TestOptimisers:
+    def setting(self):
+        managers = [f"m{i}" for i in range(4)]
+        host_pi = {m: 0.1 for m in managers}
+        manager_pi = {
+            origin: {o: 0.1 for o in managers if o != origin}
+            for origin in managers
+        }
+        return managers, host_pi, manager_pi
+
+    def test_best_unit_counts_picks_balanced_c(self):
+        managers, host_pi, manager_pi = self.setting()
+        system = best_unit_counts(managers, host_pi, manager_pi)
+        assert all(w == 1 for w in system.weights.values())
+        assert system.check_threshold in (2, 3)  # around M/2
+
+    def test_best_thresholds_intersect(self):
+        managers, host_pi, manager_pi = self.setting()
+        weights = {m: 2 for m in managers}
+        system = best_thresholds(weights, host_pi, manager_pi)
+        assert system.check_threshold + system.update_threshold == (
+            system.total_weight + 1
+        )
+
+    def test_weighting_never_hurts_when_searched(self):
+        """The exhaustive weighted optimum is at least as good as the
+        best unit-weight configuration (units are in the search space)."""
+        from repro.experiments.weighted import build_setting
+
+        managers, _flaky, host_pi, manager_pi = build_setting(4, 0.1, 0.4)
+        unit = best_unit_counts(managers, host_pi, manager_pi)
+        unit_value = unit.worst(host_pi, manager_pi)
+        from itertools import product
+
+        best_value = -1.0
+        for candidate in product((1, 2), repeat=4):
+            system = best_thresholds(
+                dict(zip(managers, candidate)), host_pi, manager_pi
+            )
+            best_value = max(best_value, system.worst(host_pi, manager_pi))
+        assert best_value >= unit_value - 1e-12

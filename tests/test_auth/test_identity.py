@@ -1,0 +1,87 @@
+"""Tests for principals and the authenticator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.auth.identity import Authenticator, Principal
+from repro.auth.keys import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def alice():
+    return Principal("alice", generate_keypair(bits=128, rng=random.Random(1)))
+
+
+@pytest.fixture(scope="module")
+def bob():
+    return Principal("bob", generate_keypair(bits=128, rng=random.Random(2)))
+
+
+class TestAuthenticator:
+    def test_registered_principal_authenticates(self, alice):
+        auth = Authenticator()
+        auth.register(alice)
+        assert auth.authenticate(alice.sign({"hello": 1}))
+
+    def test_unknown_signer_rejected(self, alice):
+        auth = Authenticator()
+        assert not auth.authenticate(alice.sign("x"))
+
+    def test_forged_identity_rejected(self, alice, bob):
+        """bob signs with his key but claims to be alice."""
+        auth = Authenticator()
+        auth.register(alice)
+        auth.register(bob)
+        message = bob.sign("payload")
+        forged = type(message)(
+            payload=message.payload,
+            signature=type(message.signature)(
+                signer="alice", value=message.signature.value
+            ),
+        )
+        assert not auth.authenticate(forged)
+
+    def test_tampered_payload_rejected(self, alice):
+        auth = Authenticator()
+        auth.register(alice)
+        message = alice.sign({"amount": 10})
+        tampered = type(message)(payload={"amount": 99}, signature=message.signature)
+        assert not auth.authenticate(tampered)
+
+    def test_compromised_identity_still_authenticates(self, alice):
+        """Compromise is an authorization problem, not an
+        authentication one — the adversary holds the real key."""
+        auth = Authenticator()
+        auth.register(alice)
+        auth.mark_compromised("alice")
+        assert "alice" in auth.compromised
+        assert auth.authenticate(alice.sign("still valid"))
+
+    def test_knows(self, alice):
+        auth = Authenticator()
+        assert not auth.knows("alice")
+        auth.register(alice)
+        assert auth.knows("alice")
+
+    def test_rekeying_replaces_old_key(self):
+        old = Principal("u", generate_keypair(bits=128, rng=random.Random(3)))
+        new = Principal("u", generate_keypair(bits=128, rng=random.Random(4)))
+        auth = Authenticator()
+        auth.register(old)
+        auth.register(new)
+        assert auth.authenticate(new.sign("m"))
+        assert not auth.authenticate(old.sign("m"))
+
+
+class TestPrincipal:
+    def test_default_keypair_generated(self):
+        principal = Principal("p1")
+        assert principal.public_key.n > 0
+
+    def test_sign_produces_verifiable_message(self, alice):
+        auth = Authenticator()
+        auth.register_key("alice", alice.public_key)
+        assert auth.authenticate(alice.sign([1, 2, 3]))

@@ -1,0 +1,103 @@
+"""Tests for ACL_cache(A) — the Figure 3 data structure."""
+
+from __future__ import annotations
+
+from repro.core.cache import ACLCache, CacheEntry
+from repro.core.rights import Right, Version
+
+
+def entry(user="u", right=Right.USE, limit=100.0, counter=1):
+    return CacheEntry(user=user, right=right, limit=limit, version=Version(counter, "m"))
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        cache = ACLCache("app")
+        result = cache.lookup("u", Right.USE, now_local=0.0)
+        assert not result.hit and not result.expired
+        assert cache.misses == 1
+
+    def test_hit_before_limit(self):
+        cache = ACLCache("app")
+        cache.store(entry(limit=50.0))
+        result = cache.lookup("u", Right.USE, now_local=49.9)
+        assert result.hit
+        assert result.entry.limit == 50.0
+        assert cache.hits == 1
+
+    def test_expired_at_limit(self):
+        """Figure 3 allows only while Time() < limit — the boundary
+        instant itself is expired."""
+        cache = ACLCache("app")
+        cache.store(entry(limit=50.0))
+        result = cache.lookup("u", Right.USE, now_local=50.0)
+        assert not result.hit and result.expired
+
+    def test_expired_entry_removed(self):
+        cache = ACLCache("app")
+        cache.store(entry(limit=50.0))
+        cache.lookup("u", Right.USE, now_local=60.0)
+        assert len(cache) == 0
+        # The followup lookup is a plain miss, not another expiry.
+        followup = cache.lookup("u", Right.USE, now_local=61.0)
+        assert not followup.expired
+        assert cache.expirations == 1
+
+    def test_rights_cached_separately(self):
+        cache = ACLCache("app")
+        cache.store(entry(right=Right.USE))
+        assert not cache.lookup("u", Right.MANAGE, 0.0).hit
+
+
+class TestStoreAndFlush:
+    def test_store_refreshes_limit(self):
+        cache = ACLCache("app")
+        cache.store(entry(limit=10.0))
+        cache.store(entry(limit=99.0, counter=2))
+        assert cache.lookup("u", Right.USE, 50.0).hit
+
+    def test_flush_specific_right(self):
+        cache = ACLCache("app")
+        cache.store(entry(right=Right.USE))
+        cache.store(entry(right=Right.MANAGE))
+        assert cache.flush("u", Right.USE) == 1
+        assert len(cache) == 1
+
+    def test_flush_all_rights_of_user(self):
+        cache = ACLCache("app")
+        cache.store(entry(right=Right.USE))
+        cache.store(entry(right=Right.MANAGE))
+        cache.store(entry(user="other"))
+        assert cache.flush("u") == 2
+        assert len(cache) == 1
+
+    def test_flush_missing_is_noop(self):
+        """Figure 2's note: removing a non-existent right is a no-op."""
+        cache = ACLCache("app")
+        assert cache.flush("ghost") == 0
+        assert cache.flush("ghost", Right.USE) == 0
+
+    def test_clear(self):
+        cache = ACLCache("app")
+        cache.store(entry())
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPurge:
+    def test_purge_removes_only_expired(self):
+        cache = ACLCache("app")
+        cache.store(entry(user="old", limit=10.0))
+        cache.store(entry(user="fresh", limit=100.0))
+        removed = cache.purge_expired(now_local=50.0)
+        assert removed == 1
+        assert cache.lookup("fresh", Right.USE, 50.0).hit
+
+    def test_purge_empty(self):
+        assert ACLCache("app").purge_expired(0.0) == 0
+
+    def test_entries_listing(self):
+        cache = ACLCache("app")
+        cache.store(entry(user="a"))
+        cache.store(entry(user="b"))
+        assert {e.user for e in cache.entries()} == {"a", "b"}

@@ -1,0 +1,360 @@
+"""Tests for the optional protocol extensions: refresh-ahead caching,
+negative caching, and Byzantine-manager tolerance (footnote 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.auth.identity import Authenticator, Principal
+from repro.auth.keys import generate_keypair
+from repro.core.byzantine import (
+    DENY_ALL,
+    FLIP,
+    GRANT_ALL,
+    LyingManager,
+    required_quorum,
+)
+from repro.core.host import AccessControlHost, DecisionReason
+from repro.core.manager import AccessControlManager
+from repro.core.policy import AccessPolicy, ExhaustedAction
+from repro.core.rights import AclEntry, Right, Version
+from repro.sim.clock import LocalClock
+from repro.sim.engine import Environment
+from repro.sim.network import FixedLatency, Network
+from repro.sim.partitions import ScriptedConnectivity
+from repro.sim.trace import TraceKind, Tracer
+
+APP = "app"
+
+
+class ExtensionHarness:
+    """Hosts + managers with optional liars and signatures."""
+
+    def __init__(
+        self,
+        policy: AccessPolicy,
+        n_managers: int = 3,
+        liars: int = 0,
+        lie_mode: str = GRANT_ALL,
+        signed: bool = False,
+    ):
+        self.env = Environment()
+        self.tracer = Tracer(self.env, keep_log=True)
+        self.connectivity = ScriptedConnectivity()
+        self.network = Network(
+            self.env,
+            connectivity=self.connectivity,
+            latency=FixedLatency(0.05),
+            tracer=self.tracer,
+        )
+        self.manager_addrs = tuple(f"m{i}" for i in range(n_managers))
+        authenticator = Authenticator() if signed else None
+        self.managers = []
+        for index, addr in enumerate(self.manager_addrs):
+            principal = None
+            if signed:
+                principal = Principal(
+                    addr, generate_keypair(bits=128, rng=random.Random(index))
+                )
+                authenticator.register(principal)
+            # The *last* `liars` managers lie.
+            if index >= n_managers - liars:
+                manager = LyingManager(
+                    addr, policy, mode=lie_mode, principal=principal
+                )
+            else:
+                manager = AccessControlManager(addr, policy, principal=principal)
+            manager.manage(APP, self.manager_addrs)
+            self.network.register(manager)
+            self.managers.append(manager)
+        self.host = AccessControlHost(
+            "h0",
+            policy,
+            managers={APP: self.manager_addrs},
+            clock=LocalClock(self.env),
+            manager_authenticator=authenticator,
+        )
+        self.network.register(self.host)
+
+    def grant_everywhere(self, user: str, counter: int = 1):
+        entry = AclEntry(user, Right.USE, True, Version(counter, ""))
+        for manager in self.managers:
+            manager.bootstrap(APP, [entry])
+
+    def check(self, user: str, run_for: float = 30.0):
+        process = self.host.request_access(APP, user)
+        self.env.run(until=self.env.now + run_for)
+        return process.value
+
+
+def policy(**overrides) -> AccessPolicy:
+    defaults = dict(
+        check_quorum=2,
+        expiry_bound=100.0,
+        clock_bound=1.0,
+        query_timeout=1.0,
+        retry_backoff=0.5,
+        max_attempts=2,
+        cache_cleanup_interval=None,
+    )
+    defaults.update(overrides)
+    return AccessPolicy(**defaults)
+
+
+class TestRefreshAhead:
+    def test_entry_refreshed_before_expiry(self):
+        harness = ExtensionHarness(
+            policy(
+                expiry_bound=20.0,
+                refresh_ahead_fraction=0.5,
+                refresh_check_interval=2.0,
+            )
+        )
+        harness.grant_everywhere("alice")
+        first = harness.check("alice", run_for=5.0)
+        assert first.reason == DecisionReason.VERIFIED
+        # Ride past several expiry periods: the refresher keeps the
+        # entry alive, so every user-facing access is a cache hit.
+        for _ in range(5):
+            harness.env.run(until=harness.env.now + 15.0)
+            probe = harness.check("alice", run_for=2.0)
+            assert probe.reason == DecisionReason.CACHE, probe
+        assert harness.host.stats["refreshes"] >= 4
+
+    def test_refresh_respects_revocation(self):
+        """Refresh-ahead must not resurrect a revoked right."""
+        harness = ExtensionHarness(
+            policy(
+                expiry_bound=20.0,
+                refresh_ahead_fraction=0.5,
+                refresh_check_interval=2.0,
+            )
+        )
+        harness.grant_everywhere("alice")
+        harness.check("alice", run_for=5.0)
+        harness.managers[0].revoke(APP, "alice")
+        harness.env.run(until=harness.env.now + 40.0)
+        probe = harness.check("alice", run_for=5.0)
+        assert not probe.allowed
+
+    def test_no_refresh_without_opt_in(self):
+        harness = ExtensionHarness(policy(expiry_bound=20.0))
+        harness.grant_everywhere("alice")
+        harness.check("alice", run_for=5.0)
+        harness.env.run(until=harness.env.now + 60.0)
+        assert harness.host.stats["refreshes"] == 0
+
+
+class TestNegativeCache:
+    def test_denial_served_from_cache(self):
+        harness = ExtensionHarness(policy(deny_cache_ttl=30.0))
+        first = harness.check("mallory")
+        assert first.reason == DecisionReason.DENIED
+        second = harness.check("mallory", run_for=5.0)
+        assert second.reason == DecisionReason.DENY_CACHED
+        assert second.latency == 0.0
+        assert harness.host.stats["deny_cache_hits"] == 1
+
+    def test_denial_expires_after_ttl(self):
+        harness = ExtensionHarness(policy(deny_cache_ttl=10.0))
+        harness.check("mallory")
+        harness.env.run(until=harness.env.now + 15.0)
+        probe = harness.check("mallory")
+        assert probe.reason == DecisionReason.DENIED  # re-verified
+
+    def test_add_visible_after_ttl_at_most(self):
+        harness = ExtensionHarness(policy(deny_cache_ttl=10.0))
+        harness.check("newbie", run_for=2.0)  # caches the denial at ~t=0
+        harness.managers[0].add(APP, "newbie")
+        harness.env.run(until=harness.env.now + 2.0)
+        early = harness.check("newbie", run_for=2.0)  # ~t=4: still cached
+        assert early.reason == DecisionReason.DENY_CACHED  # stale denial
+        harness.env.run(until=harness.env.now + 10.0)  # past the TTL
+        late = harness.check("newbie", run_for=5.0)
+        assert late.allowed
+
+    def test_grant_clears_negative_entry(self):
+        harness = ExtensionHarness(policy(deny_cache_ttl=1000.0))
+        harness.check("alice")  # denial cached with a long TTL
+        harness.grant_everywhere("alice", counter=5)
+        harness.env.run(until=harness.env.now + 1100.0)
+        verified = harness.check("alice")
+        assert verified.allowed
+        # A subsequent denial path must not resurface the stale entry.
+        assert (APP, "alice", Right.USE) not in harness.host._deny_cache
+
+    def test_query_load_shed(self):
+        shed = ExtensionHarness(policy(deny_cache_ttl=1000.0))
+        naive = ExtensionHarness(policy())
+        for harness in (shed, naive):
+            for _ in range(5):
+                harness.check("mallory", run_for=5.0)
+        shed_queries = shed.tracer.count(TraceKind.QUERY_SENT)
+        naive_queries = naive.tracer.count(TraceKind.QUERY_SENT)
+        assert shed_queries < naive_queries / 2
+
+
+class TestByzantineTolerance:
+    def test_required_quorum(self):
+        assert required_quorum(0) == 1
+        assert required_quorum(1) == 3
+        assert required_quorum(2) == 5
+        with pytest.raises(ValueError):
+            required_quorum(-1)
+
+    def test_policy_requires_large_enough_quorum(self):
+        with pytest.raises(ValueError):
+            AccessPolicy(check_quorum=1, byzantine_f=1)
+
+    def test_naive_host_believes_the_lie(self):
+        """Without Byzantine vouching, one liar's inflated version wins
+        — demonstrating the attack."""
+        harness = ExtensionHarness(
+            policy(check_quorum=3, max_attempts=1), n_managers=3, liars=1
+        )
+        decision = harness.check("revoked-user")  # never granted
+        assert decision.allowed  # the fabricated grant won
+
+    def test_f1_vouching_defeats_one_liar(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=4,
+            liars=1,
+        )
+        decision = harness.check("revoked-user")
+        assert not decision.allowed  # lie has only one voucher
+
+    def test_f1_vouching_still_grants_legitimate_users(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=4,
+            liars=1,
+        )
+        harness.grant_everywhere("alice")
+        decision = harness.check("alice")
+        assert decision.allowed
+        assert decision.reason == DecisionReason.VERIFIED
+
+    def test_censoring_liar_cannot_deny_alone(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=4,
+            liars=1,
+            lie_mode=DENY_ALL,
+        )
+        harness.grant_everywhere("alice")
+        decision = harness.check("alice")
+        assert decision.allowed
+
+    def test_flip_mode_defeated(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=4,
+            liars=1,
+            lie_mode=FLIP,
+        )
+        harness.grant_everywhere("alice")
+        assert harness.check("alice").allowed
+        assert not harness.check("stranger").allowed
+
+    def test_independent_liars_do_not_vouch_for_each_other(self):
+        """Two liars that do not coordinate produce distinct fabricated
+        versions, so even f=1 survives them."""
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=5,
+            liars=2,
+        )
+        decision = harness.check("revoked-user")
+        assert not decision.allowed
+
+    def test_colluding_liars_defeat_f1_but_not_f2(self):
+        def make(f, c, m):
+            harness = ExtensionHarness(
+                policy(check_quorum=c, byzantine_f=f, max_attempts=1),
+                n_managers=m,
+                liars=2,
+            )
+            for manager in harness.managers:
+                if isinstance(manager, LyingManager):
+                    manager.collude_as = "evil-cartel"
+            return harness
+
+        beaten = make(f=1, c=3, m=5)
+        decision = beaten.check("revoked-user")
+        assert decision.allowed  # the cartel forges f+1 = 2 vouchers
+
+        defended = make(f=2, c=5, m=7)
+        decision = defended.check("revoked-user")
+        assert not decision.allowed  # needs 3 vouchers, cartel has 2
+
+    def test_lying_manager_counts_its_lies(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=2, max_attempts=1), n_managers=3, liars=1
+        )
+        harness.check("ghost")
+        liar = harness.managers[-1]
+        assert isinstance(liar, LyingManager)
+        assert liar.lies_told >= 1
+
+    def test_invalid_lie_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LyingManager("mX", policy(), mode="gaslight")
+
+
+class TestSignedResponses:
+    def test_signed_responses_verified(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=2, max_attempts=1), signed=True
+        )
+        harness.grant_everywhere("alice")
+        decision = harness.check("alice")
+        assert decision.allowed
+        assert harness.host.rejected_manager_signatures == 0
+
+    def test_unsigned_response_rejected_when_signatures_required(self):
+        harness = ExtensionHarness(
+            policy(check_quorum=2, max_attempts=1), signed=True
+        )
+        # Sabotage one manager: strip its signing identity.
+        harness.managers[0].principal = None
+        harness.grant_everywhere("alice")
+        decision = harness.check("alice")
+        assert decision.allowed  # m1 + m2 still form the quorum
+        assert harness.host.rejected_manager_signatures >= 1
+
+    def test_impersonated_response_rejected(self):
+        """A liar signing with its own key but claiming another
+        manager's identity in the payload is dropped."""
+        harness = ExtensionHarness(
+            policy(check_quorum=3, byzantine_f=1, max_attempts=1),
+            n_managers=4,
+            liars=1,
+            signed=True,
+        )
+        liar = harness.managers[-1]
+
+        original_answer = liar._answer_query
+
+        def impersonating_answer(src, request):
+            from repro.core.messages import QueryResponse, Verdict
+            from repro.core.rights import Version
+
+            response = QueryResponse(
+                query_id=request.query_id,
+                application=request.application,
+                user=request.user,
+                right=request.right,
+                verdict=Verdict.GRANT,
+                te=100.0,
+                version=Version(9_999, "m0"),
+                manager="m0",  # claims to be the honest m0
+            )
+            liar.send(src, liar.principal.sign(response))
+
+        liar._answer_query = impersonating_answer
+        decision = harness.check("revoked-user")
+        assert not decision.allowed
+        assert harness.host.rejected_manager_signatures >= 1

@@ -1,0 +1,118 @@
+"""Tests for idle-entry eviction (Section 3.2's memory optimisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import ACLCache, CacheEntry
+from repro.core.host import DecisionReason
+from repro.core.policy import AccessPolicy
+from repro.core.rights import Right, Version
+from repro.core.system import AccessControlSystem
+from repro.sim.network import FixedLatency
+
+APP = "app"
+
+
+def entry(user, limit=1_000.0):
+    return CacheEntry(user=user, right=Right.USE, limit=limit,
+                      version=Version(1, "m"))
+
+
+class TestCachePurgeIdle:
+    def test_idle_entry_evicted_despite_validity(self):
+        cache = ACLCache(APP)
+        cache.store(entry("sleepy"), now_local=0.0)
+        assert cache.purge_idle(now_local=100.0, idle_ttl=50.0) == 1
+        assert len(cache) == 0
+        assert cache.idle_evictions == 1
+
+    def test_recently_used_entry_kept(self):
+        cache = ACLCache(APP)
+        cache.store(entry("busy"), now_local=0.0)
+        cache.lookup("busy", Right.USE, now_local=90.0)  # refreshes access
+        assert cache.purge_idle(now_local=100.0, idle_ttl=50.0) == 0
+        assert len(cache) == 1
+
+    def test_lookup_refreshes_last_access(self):
+        cache = ACLCache(APP)
+        cache.store(entry("u"), now_local=0.0)
+        cache.lookup("u", Right.USE, now_local=40.0)
+        assert cache.last_access("u", Right.USE) == 40.0
+
+    def test_background_store_does_not_count_as_access(self):
+        """A refresh-ahead store (now_local=None) must not keep an
+        otherwise idle entry alive."""
+        cache = ACLCache(APP)
+        cache.store(entry("u"), now_local=0.0)
+        cache.store(entry("u", limit=2_000.0))  # background refresh
+        assert cache.last_access("u", Right.USE) == 0.0
+        assert cache.purge_idle(now_local=100.0, idle_ttl=50.0) == 1
+
+    def test_untracked_entry_counts_as_idle(self):
+        cache = ACLCache(APP)
+        cache.store(entry("mystery"))  # no access time known
+        assert cache.purge_idle(now_local=1.0, idle_ttl=0.5) == 1
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            ACLCache(APP).purge_idle(0.0, idle_ttl=0.0)
+
+    def test_flush_and_clear_drop_access_times(self):
+        cache = ACLCache(APP)
+        cache.store(entry("u"), now_local=5.0)
+        cache.flush("u")
+        assert cache.last_access("u", Right.USE) is None
+        cache.store(entry("v"), now_local=5.0)
+        cache.clear()
+        assert cache.last_access("v", Right.USE) is None
+
+
+class TestHostIdleEviction:
+    def build(self):
+        policy = AccessPolicy(
+            check_quorum=2,
+            expiry_bound=10_000.0,  # entries essentially never expire
+            clock_bound=1.0,
+            idle_eviction_ttl=30.0,
+            cache_cleanup_interval=10.0,
+            query_timeout=1.0,
+        )
+        system = AccessControlSystem(
+            n_managers=3, n_hosts=1, policy=policy,
+            latency=FixedLatency(0.02), clock_drift=False, seed=1,
+        )
+        system.seed_grants(APP, ["hot", "cold"])
+        return system
+
+    def test_idle_user_evicted_active_user_kept(self):
+        system = self.build()
+        host = system.hosts[0]
+        for user in ("hot", "cold"):
+            process = host.request_access(APP, user)
+        system.run(until=5.0)
+        assert len(host.cache_for(APP)) == 2
+
+        def keep_hot_warm():
+            while system.env.now < 100.0:
+                yield host.request_access(APP, "hot")
+                yield system.env.timeout(5.0)
+
+        system.env.process(keep_hot_warm(), name="warmer")
+        system.run(until=100.0)
+        cache = host.cache_for(APP)
+        assert cache.lookup("hot", Right.USE, host.clock.now()).hit
+        assert not any(e.user == "cold" for e in cache.entries())
+        assert cache.idle_evictions >= 1
+
+    def test_evicted_user_reverifies_on_return(self):
+        system = self.build()
+        host = system.hosts[0]
+        first = host.request_access(APP, "cold")
+        system.run(until=5.0)
+        assert first.value.reason == DecisionReason.VERIFIED
+        system.run(until=80.0)  # idle long enough to be evicted
+        back = host.request_access(APP, "cold")
+        system.run(until=90.0)
+        assert back.value.allowed
+        assert back.value.reason == DecisionReason.VERIFIED  # not cache

@@ -1,0 +1,184 @@
+"""Tests for the Figure 1 access-control wrapper and clients."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.auth.identity import Authenticator, Principal
+from repro.auth.keys import generate_keypair
+from repro.core.policy import AccessPolicy
+from repro.core.system import AccessControlSystem
+from repro.core.wrapper import Application
+from repro.core.client import UserClient
+from repro.sim.network import FixedLatency
+
+APP = "echo"
+
+
+class EchoApp(Application):
+    """Echoes payloads; counts what it saw (must only see authorized)."""
+
+    name = APP
+
+    def __init__(self):
+        self.seen = []
+
+    def handle_request(self, user, payload):
+        self.seen.append((user, payload))
+        return f"echo:{payload}"
+
+
+def build(authenticated: bool = False, seed: int = 0):
+    system = AccessControlSystem(
+        n_managers=3,
+        n_hosts=1,
+        applications=(APP,),
+        policy=AccessPolicy(
+            check_quorum=2, expiry_bound=60.0, max_attempts=2, query_timeout=1.0
+        ),
+        latency=FixedLatency(0.05),
+        seed=seed,
+    )
+    host = system.hosts[0]
+    app = EchoApp()
+    host.deploy(app)
+    auth = None
+    if authenticated:
+        auth = Authenticator()
+        host.authenticator = auth
+    return system, host, app, auth
+
+
+class TestWrapper:
+    def test_authorized_request_reaches_application(self):
+        system, host, app, _ = build()
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        request = client.request(host.address, APP, "hello")
+        system.run(until=10)
+        assert request.value.allowed
+        assert request.value.result == "echo:hello"
+        assert app.seen == [("alice", "hello")]
+
+    def test_unauthorized_request_never_reaches_application(self):
+        system, host, app, _ = build()
+        client = UserClient("c0", "mallory")
+        system.network.register(client)
+        request = client.request(host.address, APP, "sneak")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert app.seen == []
+
+    def test_unknown_application_rejected(self):
+        system, host, app, _ = build()
+        system.register_application("ghost")
+        system.seed_grant("ghost", "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        request = client.request(host.address, "ghost", "x")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert "no such application" in request.value.reason
+
+    def test_duplicate_deploy_rejected(self):
+        _system, host, _app, _ = build()
+        with pytest.raises(ValueError):
+            host.deploy(EchoApp())
+
+    def test_wrapped_app_contains_no_access_control(self):
+        """The transparency property: the application class has no
+        reference to policies, caches, or managers."""
+        import inspect
+
+        source = inspect.getsource(EchoApp)
+        for term in ("policy", "cache", "manager", "quorum"):
+            assert term not in source.lower()
+
+
+class TestAuthenticatedWrapper:
+    def _principal(self, name, seed):
+        return Principal(name, generate_keypair(bits=128, rng=random.Random(seed)))
+
+    def test_signed_request_from_registered_user_served(self):
+        system, host, app, auth = build(authenticated=True)
+        alice = self._principal("alice", 1)
+        auth.register(alice)
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice", principal=alice)
+        system.network.register(client)
+        request = client.request(host.address, APP, "hi")
+        system.run(until=10)
+        assert request.value.allowed
+        assert app.seen == [("alice", "hi")]
+
+    def test_unsigned_request_rejected_when_auth_required(self):
+        system, host, app, auth = build(authenticated=True)
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")  # no principal -> unsigned
+        system.network.register(client)
+        request = client.request(host.address, APP, "hi")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert "unsigned" in request.value.reason
+        assert app.seen == []
+
+    def test_unregistered_signer_rejected(self):
+        system, host, app, auth = build(authenticated=True)
+        eve = self._principal("eve", 2)
+        system.seed_grant(APP, "eve")
+        client = UserClient("c0", "eve", principal=eve)
+        system.network.register(client)
+        request = client.request(host.address, APP, "hi")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert host.rejected_signatures == 1
+
+    def test_signer_claiming_other_user_rejected(self):
+        """bob signs a request whose user field says alice."""
+        system, host, app, auth = build(authenticated=True)
+        alice = self._principal("alice", 1)
+        bob = self._principal("bob", 2)
+        auth.register(alice)
+        auth.register(bob)
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice", principal=bob)  # forged identity
+        system.network.register(client)
+        request = client.request(host.address, APP, "hi")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert app.seen == []
+
+
+class TestClient:
+    def test_timeout_when_host_unreachable(self):
+        system, host, _app, _ = build()
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice", request_timeout=5.0)
+        system.network.register(client)
+        host.crash()
+        request = client.request(host.address, APP, "x")
+        system.run(until=20)
+        assert request.value.timed_out
+        assert not request.value.allowed
+
+    def test_latency_measured(self):
+        system, host, _app, _ = build()
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        request = client.request(host.address, APP, "x")
+        system.run(until=10)
+        # client->host + (query round trip) + host->client = 4 hops min.
+        assert request.value.latency >= 0.2
+
+    def test_client_crash_clears_pending(self):
+        system, host, _app, _ = build()
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        client.request(host.address, APP, "x")
+        client.crash()
+        assert client._pending == {}

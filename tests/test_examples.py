@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are the first thing a new user runs; breaking one is a
+release blocker, so they are executed (with stdout captured) as part
+of the suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {script.stem for script in SCRIPTS}
+    assert {
+        "quickstart",
+        "stock_quote_service",
+        "newspaper_availability",
+        "compromised_account",
+        "partition_tradeoff",
+        "mobile_subscriber",
+        "delegated_administration",
+    } <= names
+
+
+class TestExampleContent:
+    def test_quickstart_demonstrates_the_lifecycle(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "via 'verified'" in out
+        assert "via 'cache'" in out
+        assert "post-revoke  : allowed=False" in out
+
+    def test_compromise_example_respects_bound(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "compromised_account.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "VIOLATION" not in out
+        assert "OK" in out
+
+    def test_stock_example_respects_bound(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "stock_quote_service.py"), run_name="__main__"
+        )
+        out = capsys.readouterr().out
+        assert "VIOLATION" not in out

@@ -1,0 +1,278 @@
+"""Tests for the experiment runners and registry.
+
+The analytic experiments are checked against the paper's printed
+numbers; the simulation experiments are smoke-run at reduced size and
+checked for the qualitative *shape* the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    ablations,
+    baselines,
+    figure5,
+    heterogeneous,
+    latency,
+    overhead,
+    revocation,
+    table1,
+    table2,
+    validation,
+)
+from repro.experiments.base import ExperimentResult, ascii_plot, format_table
+from repro.experiments.table1 import PAPER_TABLE1
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+class TestRegistry:
+    def test_all_design_md_ids_present(self):
+        expected = {
+            "figure5", "table1", "table2", "sim_table1", "overhead",
+            "latency", "revocation", "freeze_vs_quorum", "baselines",
+            "heterogeneous", "weighted_quorums", "mobility",
+            "cache_extensions", "byzantine", "caching",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "table1"
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long-header"], [[1, 2.5], [33, 0.1]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+
+    def test_format_empty_table(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_ascii_plot_renders(self):
+        plot = ascii_plot({"PA": [0.1, 0.9], "PS": [0.9, 0.1]}, [1, 2])
+        assert "PA" in plot and "PS" in plot
+
+    def test_result_render_and_dicts(self):
+        result = table1.run()
+        rendered = result.render()
+        assert "table1" in rendered
+        dicts = result.as_dicts()
+        assert dicts[0]["C"] == 1
+
+
+class TestTable1Experiment:
+    def test_reproduces_paper_exactly(self):
+        rows = {row["C"]: row for row in table1.run().as_dicts()}
+        for c, (pa1, ps1, pa2, ps2) in PAPER_TABLE1.items():
+            assert round(rows[c]["PA(C) Pi=0.1"], 5) == pa1
+            assert round(rows[c]["PS(C) Pi=0.1"], 5) == ps1
+            assert round(rows[c]["PA(C) Pi=0.2"], 5) == pa2
+            assert round(rows[c]["PS(C) Pi=0.2"], 5) == ps2
+
+
+class TestTable2Experiment:
+    def test_reproduces_paper_exactly(self):
+        result = table2.run()
+        for row in result.as_dicts():
+            key = (row["M"], row["C"])
+            pa1, ps1, pa2, ps2 = PAPER_TABLE2[key]
+            assert round(row["PA(C) Pi=0.1"], 5) == pa1
+            assert round(row["PS(C) Pi=0.1"], 5) == ps1
+            assert round(row["PA(C) Pi=0.2"], 5) == pa2
+            assert round(row["PS(C) Pi=0.2"], 5) == ps2
+
+    def test_has_ten_rows_like_the_paper(self):
+        assert len(table2.run().rows) == 10
+
+
+class TestFigure5Experiment:
+    def test_full_curve(self):
+        result = figure5.run(m=10, pi=0.1)
+        assert len(result.rows) == 10
+        assert result.extra_text  # the plot
+
+    def test_best_c_noted(self):
+        assert "C=5" in figure5.run(m=10, pi=0.1).notes
+
+
+class TestValidationExperiment:
+    def test_analytic_within_simulated_ci(self):
+        result = validation.run(
+            m=10, cs=(1, 5, 10), pis=(0.1,), trials=250, seed=0
+        )
+        eps = 1e-9
+        for row in result.as_dicts():
+            assert (row["PA ci-low"] - eps <= row["PA analytic"]
+                    <= row["PA ci-high"] + eps)
+            assert (row["PS ci-low"] - eps <= row["PS analytic"]
+                    <= row["PS ci-high"] + eps)
+        assert "all fall inside" in result.notes
+
+
+class TestOverheadExperiment:
+    def test_measured_tracks_c_over_te(self):
+        result = overhead.run(cs=(1, 2), tes=(30.0,), seed=0)
+        rows = result.as_dicts()
+        for row in rows:
+            assert row["ratio"] == pytest.approx(1.0, abs=0.15)
+        # Doubling C doubles the measured rate.
+        by_c = {row["C"]: row["measured msg/s"] for row in rows}
+        assert by_c[2] == pytest.approx(2 * by_c[1], rel=0.15)
+
+    def test_te_scaling(self):
+        result = overhead.run(cs=(1,), tes=(30.0, 60.0), seed=0)
+        by_te = {row["Te"]: row["measured msg/s"] for row in result.as_dicts()}
+        assert by_te[30.0] == pytest.approx(2 * by_te[60.0], rel=0.15)
+
+
+class TestLatencyExperiment:
+    def test_predictions_match_measurements(self):
+        result = latency.run(seed=0)
+        for row in result.as_dicts():
+            assert row["measured s"] == pytest.approx(
+                row["predicted s"], abs=0.02
+            ), row
+
+
+class TestRevocationExperiment:
+    def test_bound_never_violated(self):
+        result = revocation.run(te_bound=30.0, clock_bound=1.1)
+        for row in result.as_dicts():
+            assert row["bound"] == "OK"
+            assert row["last allow after revoke (s)"] < 30.0
+
+
+class TestAblationExperiment:
+    def test_freeze_collapses_quorum_does_not(self):
+        result = ablations.run(seed=0)
+        cells = {
+            (row["strategy"], row["phase"]): row["availability"]
+            for row in result.as_dicts()
+        }
+        assert cells[("quorum (C=2)", "during")] == pytest.approx(1.0)
+        assert cells[("freeze (Ti=30)", "during")] == pytest.approx(0.0)
+        assert cells[("freeze (Ti=30)", "after")] == pytest.approx(1.0)
+
+
+class TestBaselinesExperiment:
+    def test_paper_protocol_has_zero_violations(self):
+        result = baselines.run(seed=0, duration=600.0)
+        rows = {row["system"]: row for row in result.as_dicts()}
+        assert rows["paper (cached quorum)"]["Te VIOLATIONS"] == 0
+        # Local-only pays in availability.
+        assert (
+            rows["local only"]["availability"]
+            < rows["paper (cached quorum)"]["availability"]
+        )
+
+
+class TestHeterogeneousExperiment:
+    def test_flaky_weighting_reduces_security(self):
+        result = heterogeneous.run(samples=4000, seed=0)
+        rows = {
+            (row["quantity"], row["site / C"], row["model"]): row["probability"]
+            for row in result.as_dicts()
+        }
+        uniform = rows[("security", "system", "uniform weights")]
+        weighted = rows[("security", "system", "flaky issues 80%")]
+        assert weighted < uniform
+
+    def test_correlation_reduces_availability_at_mid_c(self):
+        result = heterogeneous.run(samples=4000, seed=0)
+        rows = {
+            (row["quantity"], row["site / C"], row["model"]): row["probability"]
+            for row in result.as_dicts()
+        }
+        assert (
+            rows[("availability", "C=4", "correlated (MC)")]
+            < rows[("availability", "C=4", "independent approx")]
+        )
+
+
+class TestWeightedQuorumsExperiment:
+    def test_weighted_beats_counts_and_removal(self):
+        result = run_experiment("weighted_quorums")
+        rows = {row["scheme"]: row["min(PA, PS)"] for row in result.as_dicts()}
+        assert rows["optimal weights <= 3"] >= rows["unit weights (paper)"]
+        assert rows["remove flaky (M-1)"] < rows["unit weights (paper)"]
+
+
+class TestMobilityExperiment:
+    def test_policy_ordering(self):
+        result = run_experiment("mobility", fractions=(0.1, 0.5), seed=0)
+        cells = {
+            (row["policy"], row["disconnected fraction"]): row["availability"]
+            for row in result.as_dicts()
+        }
+        assert cells[("default-allow (Te=30)", 0.5)] == 1.0
+        assert (
+            cells[("long cache (Te=300)", 0.5)]
+            > cells[("strict (Te=30)", 0.5)]
+        )
+
+
+class TestCacheExtensionsExperiment:
+    def test_shapes(self):
+        result = run_experiment("cache_extensions", seed=0)
+        rows = {
+            (row["extension"], row["state"]): row for row in result.as_dicts()
+        }
+        on_p99 = float(rows[("refresh-ahead", "on")]["metric 2"].split()[1])
+        off_p99 = float(rows[("refresh-ahead", "off")]["metric 2"].split()[1])
+        assert on_p99 < off_p99
+        on_q = int(rows[("deny-cache", "on")]["traffic"].split()[0])
+        off_q = int(rows[("deny-cache", "off")]["traffic"].split()[0])
+        assert on_q < off_q
+
+
+class TestByzantineExperiment:
+    def test_attack_and_defence(self):
+        result = run_experiment("byzantine", trials=20, seed=0)
+        rows = {row["configuration"]: row for row in result.as_dicts()}
+        assert (
+            rows["crash-only combine, 1 liar"]["fabricated grants accepted"]
+            == 1.0
+        )
+        assert (
+            rows["f=1 vouching, 1 liar"]["fabricated grants accepted"] == 0.0
+        )
+
+
+class TestCachingExperiment:
+    def test_cache_buys_queries_and_latency(self):
+        result = run_experiment("caching", seed=0)
+        rows = {row["configuration"]: row for row in result.as_dicts()}
+        assert (
+            rows["caching on (Te=300)"]["queries / access"]
+            < rows["caching off (te ~ 0)"]["queries / access"]
+        )
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+
+    def test_unknown_id_fails(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["bogus"]) == 2
+
+    def test_runs_selected_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "0.38742" in out

@@ -1,0 +1,165 @@
+"""Tests for the metric collectors and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.host import AccessDecision, DecisionReason
+from repro.core.rights import Right
+from repro.metrics.collectors import (
+    MessageCountCollector,
+    QuorumLatencyCollector,
+    availability_report,
+    latency_by_reason,
+    overhead_report,
+    security_report,
+)
+from repro.sim.trace import TraceKind, Tracer
+from repro.workloads.generators import AuthorizationOracle, ObservedDecision
+
+APP = "app"
+
+
+def observed(user, allowed, authorized, time=0.0, latency=0.1,
+             reason=DecisionReason.VERIFIED):
+    return ObservedDecision(
+        time=time,
+        host="h0",
+        user=user,
+        application=APP,
+        decision=AccessDecision(
+            application=APP,
+            user=user,
+            right=Right.USE,
+            allowed=allowed,
+            reason=reason if allowed or reason != DecisionReason.VERIFIED
+            else DecisionReason.DENIED,
+            attempts=1,
+            responses=2,
+            latency=latency,
+        ),
+        authorized=authorized,
+    )
+
+
+class TestAvailabilityReport:
+    def test_counts_authorized_only(self):
+        report = availability_report(
+            [
+                observed("a", allowed=True, authorized=True),
+                observed("b", allowed=False, authorized=True),
+                observed("c", allowed=False, authorized=False),
+            ]
+        )
+        assert report.authorized_attempts == 2
+        assert report.authorized_allowed == 1
+        assert report.availability == pytest.approx(0.5)
+
+    def test_latency_bound_tightens_timeliness(self):
+        observations = [
+            observed("a", allowed=True, authorized=True, latency=0.1),
+            observed("b", allowed=True, authorized=True, latency=5.0),
+        ]
+        assert availability_report(observations).availability == 1.0
+        report = availability_report(observations, latency_bound=1.0)
+        assert report.availability == pytest.approx(0.5)
+
+    def test_unauthorized_allows_counted(self):
+        report = availability_report(
+            [observed("x", allowed=True, authorized=False,
+                      reason=DecisionReason.DEFAULT_ALLOW)]
+        )
+        assert report.unauthorized_allowed == 1
+
+    def test_empty_is_vacuously_available(self):
+        report = availability_report([])
+        assert report.availability == 1.0
+
+
+class TestSecurityReport:
+    def build_collector(self, env_tracer, latencies):
+        collector = QuorumLatencyCollector(env_tracer)
+        for latency in latencies:
+            env_tracer.publish(
+                TraceKind.UPDATE_QUORUM_REACHED, "m0",
+                elapsed=latency, grant=False,
+            )
+        return collector
+
+    def test_timely_fraction(self, env, tracer):
+        collector = self.build_collector(tracer, [0.5, 2.0, 10.0])
+        report = security_report(
+            [], AuthorizationOracle(30.0), revocations_issued=3,
+            quorum_collector=collector, timeliness_bound=5.0,
+        )
+        assert report.security == pytest.approx(2 / 3)
+        assert report.quorums_reached == 3
+
+    def test_grant_quorums_filtered_out(self, env, tracer):
+        collector = QuorumLatencyCollector(tracer, grants=False)
+        tracer.publish(TraceKind.UPDATE_QUORUM_REACHED, "m0",
+                       elapsed=0.1, grant=True)
+        tracer.publish(TraceKind.UPDATE_QUORUM_REACHED, "m0",
+                       elapsed=0.2, grant=False)
+        assert collector.reached == 1
+
+    def test_te_violation_detection(self, env, tracer):
+        oracle = AuthorizationOracle(expiry_bound=10.0)
+        oracle.grant(APP, "u")
+        oracle.revoke(APP, "u", time=100.0)
+        observations = [
+            # inside the grace window
+            observed("u", allowed=True, authorized=False, time=105.0),
+            # past revoke + Te: a violation
+            observed("u", allowed=True, authorized=False, time=120.0),
+        ]
+        collector = self.build_collector(tracer, [0.1])
+        report = security_report(
+            observations, oracle, revocations_issued=1,
+            quorum_collector=collector, timeliness_bound=5.0,
+        )
+        assert report.grace_window_allows == 1
+        assert report.te_violations == 1
+
+    def test_no_revocations_is_vacuously_secure(self, env, tracer):
+        collector = QuorumLatencyCollector(tracer)
+        report = security_report(
+            [], AuthorizationOracle(10.0), revocations_issued=0,
+            quorum_collector=collector, timeliness_bound=1.0,
+        )
+        assert report.security == 1.0
+
+
+class TestOverheadReport:
+    def test_classifies_control_vs_app(self, env, tracer):
+        collector = MessageCountCollector(tracer)
+        for kind in ("QueryRequest", "QueryResponse", "AppRequest"):
+            tracer.publish(TraceKind.MSG_SENT, "n", dst="x", message_kind=kind)
+        report = overhead_report(collector, duration=10.0)
+        assert report.control_messages == 2
+        assert report.app_messages == 1
+        assert report.control_rate == pytest.approx(0.2)
+        assert report.by_kind["QueryRequest"] == 1
+
+    def test_zero_duration_rejected(self, env, tracer):
+        with pytest.raises(ValueError):
+            overhead_report(MessageCountCollector(tracer), duration=0.0)
+
+
+class TestLatencyByReason:
+    def test_buckets_by_reason(self):
+        observations = [
+            observed("a", allowed=True, authorized=True, latency=0.0,
+                     reason=DecisionReason.CACHE),
+            observed("b", allowed=True, authorized=True, latency=0.2,
+                     reason=DecisionReason.VERIFIED),
+            observed("c", allowed=True, authorized=True, latency=0.4,
+                     reason=DecisionReason.VERIFIED),
+        ]
+        buckets = latency_by_reason(observations)
+        assert buckets[DecisionReason.CACHE].mean == 0.0
+        assert buckets[DecisionReason.VERIFIED].n == 2
+        assert buckets[DecisionReason.VERIFIED].mean == pytest.approx(0.3)
+
+    def test_empty(self):
+        assert latency_by_reason([]) == {}

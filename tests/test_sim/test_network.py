@@ -1,0 +1,248 @@
+"""Tests for the unreliable network."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Tuple
+
+import pytest
+
+from repro.sim.network import (
+    FixedLatency,
+    Network,
+    ShiftedExponentialLatency,
+    UniformLatency,
+)
+from repro.sim.node import Node
+from repro.sim.trace import TraceKind
+
+
+class Recorder(Node):
+    """Test node that records everything it receives."""
+
+    def __init__(self, address: str):
+        super().__init__(address)
+        self.received: List[Tuple[float, str, Any]] = []
+
+    def handle_message(self, src, message):
+        self.received.append((self.env.now, src, message))
+
+
+@pytest.fixture
+def pair(network):
+    a = Recorder("a")
+    b = Recorder("b")
+    network.register(a)
+    network.register(b)
+    return a, b
+
+
+class TestDelivery:
+    def test_unicast_delivers_with_latency(self, env, network, pair):
+        a, b = pair
+        a.send("b", "hello")
+        env.run()
+        assert b.received == [(0.05, "a", "hello")]
+
+    def test_self_send_is_instant(self, env, network, pair):
+        a, _b = pair
+        a.send("a", "note")
+        env.run()
+        assert a.received == [(0.0, "a", "note")]
+
+    def test_multicast_reaches_all(self, env, network, pair):
+        a, b = pair
+        c = Recorder("c")
+        network.register(c)
+        a.multicast(["b", "c"], "fan-out")
+        env.run()
+        assert len(b.received) == 1 and len(c.received) == 1
+
+    def test_fifo_not_guaranteed_but_deterministic(self, env, network, pair):
+        a, b = pair
+        a.send("b", "first")
+        a.send("b", "second")
+        env.run()
+        assert [m for (_t, _s, m) in b.received] == ["first", "second"]
+
+    def test_unknown_destination_raises(self, network, pair):
+        a, _b = pair
+        with pytest.raises(ValueError):
+            a.send("ghost", "x")
+
+    def test_unknown_source_raises(self, network):
+        with pytest.raises(ValueError):
+            network.send("ghost", "also-ghost", "x")
+
+    def test_duplicate_registration_rejected(self, network, pair):
+        with pytest.raises(ValueError):
+            network.register(Recorder("a"))
+
+
+class TestDrops:
+    def test_partitioned_link_drops(self, env, network, connectivity, pair):
+        a, b = pair
+        connectivity.set_down("a", "b")
+        a.send("b", "lost")
+        env.run()
+        assert b.received == []
+        assert network.messages_dropped == 1
+
+    def test_down_destination_drops(self, env, network, pair):
+        a, b = pair
+        b.crash()
+        a.send("b", "lost")
+        env.run()
+        assert b.received == []
+
+    def test_down_source_drops(self, env, network, pair):
+        a, b = pair
+        a.crash()
+        a.send("b", "lost")
+        env.run()
+        assert b.received == []
+
+    def test_destination_crashing_in_flight_drops(self, env, network, pair):
+        a, b = pair
+        a.send("b", "lost")
+
+        def crasher():
+            yield env.timeout(0.01)
+            b.crash()
+
+        env.process(crasher())
+        env.run()
+        assert b.received == []
+
+    def test_recheck_on_delivery_drops_mid_flight_partition(
+        self, env, tracer, connectivity
+    ):
+        network = Network(
+            env,
+            connectivity=connectivity,
+            latency=FixedLatency(0.05),
+            tracer=tracer,
+            recheck_on_delivery=True,
+        )
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        a.send("b", "lost")
+
+        def partitioner():
+            yield env.timeout(0.01)
+            connectivity.set_down("a", "b")
+
+        env.process(partitioner())
+        env.run()
+        assert b.received == []
+
+    def test_without_recheck_mid_flight_partition_still_delivers(
+        self, env, network, connectivity, pair
+    ):
+        a, b = pair
+        a.send("b", "made it")
+
+        def partitioner():
+            yield env.timeout(0.01)
+            connectivity.set_down("a", "b")
+
+        env.process(partitioner())
+        env.run()
+        assert len(b.received) == 1
+
+    def test_random_loss(self, env, tracer):
+        network = Network(
+            env,
+            latency=FixedLatency(0.0),
+            loss_rate=0.5,
+            tracer=tracer,
+            rng=random.Random(4),
+        )
+        a, b = Recorder("a"), Recorder("b")
+        network.register(a)
+        network.register(b)
+        for _ in range(200):
+            a.send("b", "maybe")
+        env.run()
+        assert 60 < len(b.received) < 140  # ~100 expected
+
+    def test_invalid_loss_rate_rejected(self, env):
+        with pytest.raises(ValueError):
+            Network(env, loss_rate=1.0)
+
+
+class TestTraceIntegration:
+    def test_send_and_delivery_traced(self, env, network, tracer, pair):
+        a, _b = pair
+        a.send("b", "x")
+        env.run()
+        assert tracer.count(TraceKind.MSG_SENT) == 1
+        assert tracer.count(TraceKind.MSG_DELIVERED) == 1
+
+    def test_drop_traced_with_reason(self, env, network, tracer, connectivity, pair):
+        a, _b = pair
+        connectivity.set_down("a", "b")
+        a.send("b", "x")
+        env.run()
+        drops = tracer.records(TraceKind.MSG_DROPPED)
+        assert drops[0].data["reason"] == "partitioned"
+
+    def test_counters(self, env, network, connectivity, pair):
+        a, _b = pair
+        a.send("b", "ok")
+        connectivity.set_down("a", "b")
+        a.send("b", "dropped")
+        env.run()
+        assert network.messages_sent == 2
+        assert network.messages_delivered == 1
+        assert network.messages_dropped == 1
+
+
+class TestReachable:
+    def test_reflects_partition_and_crashes(self, network, connectivity, pair):
+        a, b = pair
+        assert network.reachable("a", "b")
+        connectivity.set_down("a", "b")
+        assert not network.reachable("a", "b")
+        connectivity.set_up("a", "b")
+        b.crash()
+        assert not network.reachable("a", "b")
+        b.recover()
+        assert network.reachable("a", "b")
+
+    def test_unknown_nodes_unreachable(self, network):
+        assert not network.reachable("nope", "also-nope")
+
+    def test_self_always_reachable_when_up(self, network, pair):
+        assert network.reachable("a", "a")
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert FixedLatency(0.2).sample(random.Random(0), "a", "b") == 0.2
+
+    def test_fixed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-0.1)
+
+    def test_uniform_in_range(self):
+        model = UniformLatency(0.01, 0.09)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng, "a", "b") <= 0.09
+
+    def test_uniform_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+    def test_shifted_exponential_has_floor(self):
+        model = ShiftedExponentialLatency(minimum=0.02, mean_extra=0.03)
+        rng = random.Random(0)
+        samples = [model.sample(rng, "a", "b") for _ in range(500)]
+        assert min(samples) >= 0.02
+        assert sum(samples) / len(samples) == pytest.approx(0.05, rel=0.2)
+
+    def test_shifted_exponential_zero_extra(self):
+        model = ShiftedExponentialLatency(minimum=0.02, mean_extra=0.0)
+        assert model.sample(random.Random(0), "a", "b") == 0.02

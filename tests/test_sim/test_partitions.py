@@ -1,0 +1,243 @@
+"""Tests for the partition models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.partitions import (
+    BernoulliPerMessage,
+    FullConnectivity,
+    GroupPartitionModel,
+    PairEpochModel,
+    SampledConnectivity,
+    ScriptedConnectivity,
+    StaticPartition,
+    pair_key,
+)
+from repro.sim.trace import Tracer
+
+
+def attach(model, seed=0):
+    env = Environment()
+    model.attach(env, random.Random(seed), Tracer(env))
+    return env
+
+
+class TestPairKey:
+    def test_symmetric(self):
+        assert pair_key("a", "b") == pair_key("b", "a")
+
+    def test_canonical_order(self):
+        assert pair_key("z", "a") == ("a", "z")
+
+
+class TestFullConnectivity:
+    def test_always_reachable(self):
+        model = FullConnectivity()
+        attach(model)
+        assert model.is_reachable("x", "y")
+
+
+class TestStaticPartition:
+    def test_groups_separate(self):
+        model = StaticPartition([["a", "b"], ["c"]])
+        attach(model)
+        assert model.is_reachable("a", "b")
+        assert not model.is_reachable("a", "c")
+
+    def test_unlisted_share_component(self):
+        model = StaticPartition([["a"]])
+        attach(model)
+        assert model.is_reachable("x", "y")
+        assert not model.is_reachable("a", "x")
+
+    def test_duplicate_membership_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartition([["a"], ["a", "b"]])
+
+
+class TestScriptedConnectivity:
+    def test_links_start_up(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        assert model.is_reachable("a", "b")
+
+    def test_set_down_and_up(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.set_down("a", "b")
+        assert not model.is_reachable("a", "b")
+        assert not model.is_reachable("b", "a")  # symmetric
+        model.set_up("b", "a")
+        assert model.is_reachable("a", "b")
+
+    def test_isolate_and_reconnect(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.isolate("h", ["m0", "m1", "h"])  # own address skipped
+        assert not model.is_reachable("h", "m0")
+        assert not model.is_reachable("h", "m1")
+        assert model.is_reachable("m0", "m1")
+        model.reconnect("h", ["m0", "m1"])
+        assert model.is_reachable("h", "m0")
+
+    def test_partition_and_heal(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.partition([["a", "b"], ["c", "d"]])
+        assert model.is_reachable("a", "b")
+        assert not model.is_reachable("a", "c")
+        model.heal()
+        assert model.is_reachable("a", "c")
+
+    def test_downed_link_survives_heal(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.set_down("a", "c")
+        model.partition([["a", "b"], ["c"]])
+        model.heal()
+        assert not model.is_reachable("a", "c")
+        assert model.is_reachable("a", "b")
+
+
+class TestBernoulliPerMessage:
+    def test_zero_pi_always_reachable(self):
+        model = BernoulliPerMessage(0.0)
+        attach(model)
+        assert all(model.is_reachable("a", "b") for _ in range(100))
+
+    def test_rate_approximates_pi(self):
+        model = BernoulliPerMessage(0.3)
+        attach(model, seed=2)
+        downs = sum(not model.is_reachable("a", "b") for _ in range(5000))
+        assert downs / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_pi_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliPerMessage(1.0)
+        with pytest.raises(ValueError):
+            BernoulliPerMessage(-0.1)
+
+
+class TestSampledConnectivity:
+    def test_stable_between_resamples(self):
+        model = SampledConnectivity(0.5)
+        attach(model, seed=3)
+        first = model.is_reachable("a", "b")
+        for _ in range(10):
+            assert model.is_reachable("a", "b") == first
+
+    def test_resample_changes_draws(self):
+        model = SampledConnectivity(0.5)
+        attach(model, seed=3)
+        outcomes = set()
+        for _ in range(50):
+            model.resample()
+            outcomes.add(model.is_reachable("a", "b"))
+        assert outcomes == {True, False}
+
+    def test_stationary_fraction(self):
+        model = SampledConnectivity(0.2)
+        attach(model, seed=4)
+        downs = 0
+        trials = 3000
+        for _ in range(trials):
+            model.resample()
+            if not model.is_reachable("a", "b"):
+                downs += 1
+        assert downs / trials == pytest.approx(0.2, abs=0.03)
+
+    def test_pairs_independent(self):
+        model = SampledConnectivity(0.5)
+        attach(model, seed=5)
+        agree = 0
+        trials = 2000
+        for _ in range(trials):
+            model.resample()
+            if model.is_reachable("a", "b") == model.is_reachable("a", "c"):
+                agree += 1
+        assert agree / trials == pytest.approx(0.5, abs=0.05)
+
+
+class TestPairEpochModel:
+    def test_zero_pi_reachable_without_processes(self):
+        model = PairEpochModel(0.0)
+        env = attach(model)
+        assert model.is_reachable("a", "b")
+        env.run(until=100)
+        assert model.is_reachable("a", "b")
+
+    def test_mean_uptime_matches_stationarity(self):
+        model = PairEpochModel(0.25, mean_outage=30.0)
+        assert model.mean_uptime == pytest.approx(90.0)
+
+    def test_long_run_down_fraction(self):
+        model = PairEpochModel(0.2, mean_outage=10.0)
+        env = attach(model, seed=6)
+        down_time = 0.0
+        step = 1.0
+        steps = 20_000
+        for _ in range(steps):
+            if not model.is_reachable("a", "b"):
+                down_time += step
+            env.run(until=env.now + step)
+        assert down_time / (steps * step) == pytest.approx(0.2, abs=0.04)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PairEpochModel(1.0)
+        with pytest.raises(ValueError):
+            PairEpochModel(0.1, mean_outage=0.0)
+
+    def test_force_resample_clears_state(self):
+        model = PairEpochModel(0.5, mean_outage=1000.0)
+        attach(model, seed=7)
+        model.is_reachable("a", "b")
+        assert model._pairs
+        model.force_resample()
+        assert not model._pairs
+
+
+class TestGroupPartitionModel:
+    def test_partitions_come_and_go(self):
+        addresses = [f"n{i}" for i in range(6)]
+        model = GroupPartitionModel(
+            addresses, event_rate=0.1, mean_duration=5.0, n_groups=2
+        )
+        env = attach(model, seed=8)
+        saw_partition = saw_healed = False
+        for _ in range(500):
+            env.run(until=env.now + 1.0)
+            separated = any(
+                not model.is_reachable(a, b)
+                for a in addresses
+                for b in addresses
+                if a < b
+            )
+            if separated:
+                saw_partition = True
+            else:
+                saw_healed = True
+        assert saw_partition and saw_healed
+
+    def test_within_group_reachable(self):
+        addresses = ["a", "b", "c", "d"]
+        model = GroupPartitionModel(addresses, event_rate=1.0, mean_duration=1000.0)
+        env = attach(model, seed=9)
+        env.run(until=10.0)  # a partition is almost surely active
+        groups = {}
+        for address in addresses:
+            groups.setdefault(model._component[address], []).append(address)
+        for members in groups.values():
+            for x in members:
+                for y in members:
+                    assert model.is_reachable(x, y)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            GroupPartitionModel(["a"], event_rate=0.0, mean_duration=1.0)
+        with pytest.raises(ValueError):
+            GroupPartitionModel(["a"], event_rate=1.0, mean_duration=1.0, n_groups=1)

@@ -1,0 +1,67 @@
+"""Tests for user populations."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.population import UserPopulation
+
+
+class TestConstruction:
+    def test_size_and_names(self):
+        population = UserPopulation(5)
+        assert len(population) == 5
+        assert list(population) == ["u0", "u1", "u2", "u3", "u4"]
+
+    def test_custom_prefix(self):
+        assert UserPopulation(2, prefix="client").users == ["client0", "client1"]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            UserPopulation(0)
+        with pytest.raises(ValueError):
+            UserPopulation(5, zipf_s=-1.0)
+
+
+class TestPopularity:
+    def test_probabilities_sum_to_one(self):
+        population = UserPopulation(20, zipf_s=1.0)
+        total = sum(population.popularity(user) for user in population)
+        assert total == pytest.approx(1.0)
+
+    def test_zipf_head_heavier_than_tail(self):
+        population = UserPopulation(100, zipf_s=1.0)
+        assert population.popularity("u0") > 10 * population.popularity("u99")
+
+    def test_uniform_when_s_zero(self):
+        population = UserPopulation(10, zipf_s=0.0)
+        assert population.popularity("u0") == pytest.approx(
+            population.popularity("u9")
+        )
+
+    def test_head(self):
+        assert UserPopulation(10).head(3) == ["u0", "u1", "u2"]
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        population = UserPopulation(50)
+        a = population.sample_many(random.Random(1), 20)
+        b = population.sample_many(random.Random(1), 20)
+        assert a == b
+
+    def test_empirical_frequencies_follow_zipf(self):
+        population = UserPopulation(10, zipf_s=1.0)
+        counts = Counter(population.sample_many(random.Random(2), 20_000))
+        assert counts["u0"] / 20_000 == pytest.approx(
+            population.popularity("u0"), abs=0.02
+        )
+        assert counts["u0"] > counts["u9"]
+
+    def test_all_users_reachable(self):
+        population = UserPopulation(5, zipf_s=0.5)
+        seen = set(population.sample_many(random.Random(3), 2_000))
+        assert seen == set(population.users)
