@@ -1,18 +1,28 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench experiments examples all clean
+.PHONY: install test bench bench-baseline bench-compare experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
+
+bench-baseline:
+	PYTHONPATH=src python -m pytest benchmarks/bench_microbench.py benchmarks/bench_parallel.py \
+		--benchmark-only --benchmark-json=benchmarks/baseline.json
+
+bench-compare:
+	PYTHONPATH=src python -m pytest benchmarks/bench_microbench.py benchmarks/bench_parallel.py \
+		--benchmark-only --benchmark-json=/tmp/bench-current.json
+	python benchmarks/compare_bench.py --baseline benchmarks/baseline.json \
+		--current /tmp/bench-current.json
 
 experiments:
-	repro-experiments
+	PYTHONPATH=src python -m repro.experiments.cli
 
 examples:
 	@for script in examples/*.py; do \

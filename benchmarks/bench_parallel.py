@@ -1,0 +1,99 @@
+"""Benchmarks for the parallel replication runtime.
+
+Not a paper artifact — these quantify the dispatch layer itself:
+inline-path overhead (``jobs=1`` must stay a plain loop), process-pool
+dispatch cost, and the end-to-end speedup of a real experiment sweep
+fanned over workers.  The speedup test also re-checks the determinism
+contract: parallel output must equal sequential output exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.validation import simulate_cell
+from repro.runtime import (
+    available_cpus,
+    run_parallel,
+    run_replications,
+    run_trials,
+    trial_seed,
+)
+from repro.runtime.pool import _fork_available
+
+#: Small but real protocol workload: one (m, C, pi) validation cell.
+_CONFIGS = [(3, 1, 0.1), (3, 2, 0.1), (3, 3, 0.1), (3, 2, 0.2)]
+_TRIALS = 25
+
+
+def _busy_trial(trial_index: int, seed: int) -> int:
+    """A CPU-bound stand-in trial: deterministic in (index, seed)."""
+    value = seed & 0xFFFFFFFF
+    for _ in range(20_000):
+        value = (value * 1103515245 + 12345 + trial_index) & 0x7FFFFFFF
+    return value
+
+
+def test_inline_dispatch_overhead(benchmark):
+    """run_parallel(jobs=1) must cost no more than the loop it replaces."""
+
+    def inline():
+        return run_parallel(_busy_trial, [(i, i) for i in range(50)], jobs=1)
+
+    result = benchmark(inline)
+    assert len(result) == 50
+
+
+def test_replication_fanout(benchmark):
+    """Per-trial fan-out of seeded replications (pool path when jobs>1)."""
+    jobs = min(2, available_cpus()) if _fork_available() else 1
+
+    def fanout():
+        return run_replications(_busy_trial, trials=40, seed=7, jobs=jobs)
+
+    result = benchmark.pedantic(fanout, rounds=3, iterations=1)
+    assert result == [
+        _busy_trial(i, trial_seed(7, i)) for i in range(40)
+    ]
+
+
+def test_validation_sweep_jobs1(benchmark):
+    """Sequential baseline for the validation sweep (speedup denominator)."""
+
+    def sweep():
+        return run_trials(simulate_cell, _CONFIGS, _TRIALS, seed=0, jobs=1)
+
+    result = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert len(result) == len(_CONFIGS)
+
+
+def test_parallel_sweep_matches_sequential_and_reports_speedup(capsys):
+    """Determinism contract end-to-end, plus a wall-clock speedup report.
+
+    The ≥2x target only holds on a multi-core machine; on a single-CPU
+    runner this still verifies bit-identical results through the pool.
+    """
+    if not _fork_available():
+        import pytest
+
+        pytest.skip("platform lacks fork; pool path unavailable")
+    jobs = max(2, min(4, available_cpus()))
+
+    started = time.perf_counter()
+    sequential = run_trials(simulate_cell, _CONFIGS, _TRIALS, seed=0, jobs=1)
+    sequential_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_trials(simulate_cell, _CONFIGS, _TRIALS, seed=0, jobs=jobs)
+    parallel_s = time.perf_counter() - started
+
+    assert parallel == sequential  # bit-identical merge
+    speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    with capsys.disabled():
+        print(
+            f"\n[bench_parallel] jobs={jobs} on {available_cpus()} CPU(s): "
+            f"sequential {sequential_s:.2f}s, parallel {parallel_s:.2f}s, "
+            f"speedup {speedup:.2f}x"
+        )
+    if available_cpus() >= 4:
+        assert speedup >= 2.0, f"expected >=2x on 4+ cores, got {speedup:.2f}x"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Diff a fresh pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+        --benchmark-json=current.json
+    python benchmarks/compare_bench.py \
+        --baseline benchmarks/baseline.json --current current.json
+
+Exits non-zero if any benchmark present in both files regressed by more
+than ``--threshold`` (default 25%) on its median time.  Benchmarks that
+exist on only one side are reported but never fail the run, so adding
+or retiring a benchmark does not break CI.  Use ``--record`` to copy
+the current run over the baseline after an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from typing import Dict
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Map benchmark name -> median seconds from a --benchmark-json file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    medians = {}
+    for bench in data.get("benchmarks", []):
+        medians[bench["name"]] = bench["stats"]["median"]
+    return medians
+
+
+def compare(
+    baseline: Dict[str, float], current: Dict[str, float], threshold: float
+) -> int:
+    """Print the comparison table; return the number of regressions."""
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    regressions = 0
+
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name in shared:
+        base_s, curr_s = baseline[name], current[name]
+        ratio = curr_s / base_s if base_s else float("inf")
+        if ratio > 1.0 + threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            regressions += 1
+        elif ratio < 1.0:
+            verdict = f"improved ({1.0 - ratio:.0%} faster)"
+        else:
+            verdict = "ok"
+        print(f"{name.ljust(width)}  {base_s * 1e3:>10.3f}ms  "
+              f"{curr_s * 1e3:>10.3f}ms  {ratio:>6.2f}x  {verdict}")
+    for name in only_baseline:
+        print(f"{name.ljust(width)}  (missing from current run — skipped)")
+    for name in only_current:
+        print(f"{name.ljust(width)}  (new benchmark — no baseline)")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regress past a threshold "
+        "versus a committed baseline."
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="committed baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="fresh --benchmark-json output to check",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed median slowdown as a fraction (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="after comparing, overwrite the baseline with the current run",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    try:
+        baseline = load_medians(args.baseline)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; record one with --record",
+              file=sys.stderr)
+        if args.record:
+            shutil.copyfile(args.current, args.baseline)
+            print(f"recorded {args.current} as {args.baseline}")
+            return 0
+        return 2
+    current = load_medians(args.current)
+
+    regressions = compare(baseline, current, args.threshold)
+    if args.record:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"\nrecorded {args.current} as {args.baseline}")
+        return 0
+    if regressions:
+        print(f"\n{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("\nno regressions past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

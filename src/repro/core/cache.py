@@ -20,6 +20,8 @@ work from a drifting local clock alone.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +59,13 @@ class ACLCache:
         self.application = application
         self._entries: Dict[Tuple[str, Right], CacheEntry] = {}
         self._last_access: Dict[Tuple[str, Right], float] = {}
+        # Min-heap of (limit, seq, key) so ``purge_expired`` pops only
+        # the entries actually past their limit instead of scanning the
+        # whole cache per sweep.  Records are never removed eagerly on
+        # flush/refresh; a popped record is validated against the live
+        # entry and discarded if stale (lazy deletion).
+        self._expiry_heap: List[Tuple[float, int, Tuple[str, Right]]] = []
+        self._heap_seq = itertools.count()
         self.hits = 0
         self.misses = 0
         self.expirations = 0
@@ -96,6 +105,11 @@ class ACLCache:
         """
         key = (entry.user, entry.right)
         self._entries[key] = entry
+        heapq.heappush(self._expiry_heap, (entry.limit, next(self._heap_seq), key))
+        if len(self._expiry_heap) > 64 and len(self._expiry_heap) > 4 * len(
+            self._entries
+        ):
+            self._compact_heap()
         if now_local is not None:
             self._last_access[key] = now_local
         else:
@@ -123,17 +137,38 @@ class ACLCache:
         """Drop everything (host recovery: "initialized to null")."""
         self._entries.clear()
         self._last_access.clear()
+        self._expiry_heap.clear()
+
+    def _compact_heap(self) -> None:
+        """Rebuild the expiry heap from live entries, dropping stale records."""
+        self._expiry_heap = [
+            (entry.limit, next(self._heap_seq), key)
+            for key, entry in self._entries.items()
+        ]
+        heapq.heapify(self._expiry_heap)
 
     def purge_expired(self, now_local: float) -> int:
-        """Background sweep of entries past their limit.  Returns count."""
-        expired = [
-            key for key, entry in self._entries.items() if now_local >= entry.limit
-        ]
-        for key in expired:
-            del self._entries[key]
+        """Background sweep of entries past their limit.  Returns count.
+
+        O(k log n) for k expirations via the expiry heap: pops stop at
+        the first record whose limit is still in the future.  A popped
+        record whose key was flushed, already expired via ``lookup``,
+        or refreshed with a different limit is stale and skipped — the
+        refreshed entry has its own, newer record.
+        """
+        removed = 0
+        heap = self._expiry_heap
+        entries = self._entries
+        while heap and heap[0][0] <= now_local:
+            limit, _seq, key = heapq.heappop(heap)
+            entry = entries.get(key)
+            if entry is None or entry.limit != limit:
+                continue  # stale heap record
+            del entries[key]
             self._last_access.pop(key, None)
-        self.expirations += len(expired)
-        return len(expired)
+            removed += 1
+        self.expirations += removed
+        return removed
 
     def purge_idle(self, now_local: float, idle_ttl: float) -> int:
         """The paper's memory-saving sweep: "eliminate entries of users

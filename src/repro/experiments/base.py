@@ -22,7 +22,18 @@ def _format_cell(value: Any) -> str:
 
 
 def format_table(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
-    """Render an aligned monospace table."""
+    """Render an aligned monospace table.
+
+    Every row must have exactly one cell per column; a mismatched row
+    raises ``ValueError`` naming the offending row (a short row used to
+    surface as a bare ``IndexError`` from the width computation).
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected {len(columns)} "
+                f"(columns: {list(columns)!r})"
+            )
     rendered = [[_format_cell(cell) for cell in row] for row in rows]
     widths = [
         max(len(col), *(len(row[i]) for row in rendered)) if rendered else len(col)

@@ -22,7 +22,7 @@ staleness only by its (long) lease term.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..baselines.eventual import EventualSystem
 from ..baselines.full_replication import FullReplicationSystem
@@ -35,6 +35,7 @@ from ..metrics.collectors import (
     availability_report,
     overhead_report,
 )
+from ..runtime import run_trials
 from ..sim.partitions import PairEpochModel
 from ..workloads.generators import AccessWorkload, AuthorizationOracle, UpdateWorkload
 from ..workloads.population import UserPopulation
@@ -137,8 +138,17 @@ def run_one(
     ]
 
 
-def run(seed: int = 0, duration: float = 1500.0) -> ExperimentResult:
-    rows = [run_one(name, seed=seed, duration=duration) for name in SYSTEMS]
+def _run_config(config: Tuple[str, float], _trials: int, seed: int) -> List:
+    """One baseline system under the common workload — the dispatch unit."""
+    name, duration = config
+    return run_one(name, seed=seed, duration=duration)
+
+
+def run(
+    seed: int = 0, duration: float = 1500.0, jobs: Optional[int] = 1
+) -> ExperimentResult:
+    configs = [(name, duration) for name in SYSTEMS]
+    rows = run_trials(_run_config, configs, trials=1, seed=seed, jobs=jobs)
     return ExperimentResult(
         experiment_id="baselines",
         title="The paper's protocol vs alternative designs under partitions",

@@ -20,7 +20,7 @@ rate across configurations with 0–2 liars.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..core.byzantine import GRANT_ALL, LyingManager
 from ..core.host import AccessControlHost
@@ -29,6 +29,7 @@ from ..core.policy import AccessPolicy, ExhaustedAction
 from ..core.rights import AclEntry, Right, Version
 from ..sim.clock import LocalClock
 from ..sim.engine import Environment
+from ..runtime import run_trials
 from ..sim.network import FixedLatency, Network
 from ..sim.trace import Tracer
 from .base import ExperimentResult
@@ -97,8 +98,18 @@ def measure_rates(
     }
 
 
-def run(trials: int = 40, seed: int = 0) -> ExperimentResult:
-    rows: List[List] = []
+def _measure_config(
+    config: Tuple[str, int, int, int, int, bool], trials: int, seed: int
+) -> dict:
+    """One configuration row — the unit of parallel dispatch."""
+    _label, m, c, f, liars, collude = config
+    return measure_rates(
+        n_managers=m, check_quorum=c, byzantine_f=f,
+        liars=liars, collude=collude, trials=trials, seed=seed,
+    )
+
+
+def run(trials: int = 40, seed: int = 0, jobs: Optional[int] = 1) -> ExperimentResult:
     configs = [
         # label, M, C, f, liars, collude
         ("crash-only combine, honest", 4, 3, 0, 0, False),
@@ -107,15 +118,13 @@ def run(trials: int = 40, seed: int = 0) -> ExperimentResult:
         ("f=1 vouching, 2 colluding liars", 5, 3, 1, 2, True),
         ("f=2 vouching, 2 colluding liars", 7, 5, 2, 2, True),
     ]
-    for label, m, c, f, liars, collude in configs:
-        rates = measure_rates(
-            n_managers=m, check_quorum=c, byzantine_f=f,
-            liars=liars, collude=collude, trials=trials, seed=seed,
-        )
-        rows.append(
-            [label, m, c, f, liars,
-             rates["fabricated_rate"], rates["legitimate_rate"]]
-        )
+    rates_per_config = run_trials(_measure_config, configs, trials, seed, jobs=jobs)
+    rows: List[List] = [
+        [label, m, c, f, liars,
+         rates["fabricated_rate"], rates["legitimate_rate"]]
+        for (label, m, c, f, liars, _collude), rates
+        in zip(configs, rates_per_config)
+    ]
     return ExperimentResult(
         experiment_id="byzantine",
         title="Lying managers: the footnote-2 extension, attack and defence",

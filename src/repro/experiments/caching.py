@@ -16,12 +16,13 @@ latency, and manager query load.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..core.policy import AccessPolicy
 from ..core.system import AccessControlSystem
 from ..metrics.collectors import MessageCountCollector
 from ..metrics.estimators import summarize
+from ..runtime import run_trials
 from ..sim.network import FixedLatency
 from ..workloads.generators import AuthorizationOracle, FlashCrowdWorkload
 from ..workloads.population import UserPopulation
@@ -77,11 +78,18 @@ def measure_crowd(te: float, label: str, seed: int = 0) -> List:
     ]
 
 
-def run(seed: int = 0) -> ExperimentResult:
-    rows = [
-        measure_crowd(te=0.001, label="caching off (te ~ 0)", seed=seed),
-        measure_crowd(te=300.0, label="caching on (Te=300)", seed=seed),
+def _measure_config(config: Tuple[float, str], _trials: int, seed: int) -> List:
+    """One cache configuration — the unit of parallel dispatch."""
+    te, label = config
+    return measure_crowd(te=te, label=label, seed=seed)
+
+
+def run(seed: int = 0, jobs: Optional[int] = 1) -> ExperimentResult:
+    configs = [
+        (0.001, "caching off (te ~ 0)"),
+        (300.0, "caching on (Te=300)"),
     ]
+    rows = run_trials(_measure_config, configs, trials=1, seed=seed, jobs=jobs)
     return ExperimentResult(
         experiment_id="caching",
         title="What the ACL cache buys (the paper's core design choice)",

@@ -18,9 +18,9 @@ from . import EXPERIMENTS, run_experiment
 __all__ = ["main"]
 
 
-def _accepts_seed(experiment_id: str) -> bool:
+def _accepts(experiment_id: str, parameter: str) -> bool:
     signature = inspect.signature(EXPERIMENTS[experiment_id])
-    return "seed" in signature.parameters
+    return parameter in signature.parameters
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -46,7 +46,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the random seed of stochastic experiments "
         "(analytic experiments ignore it)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan simulation cells out over N worker processes "
+        "(0 = all CPUs; results are identical for every N)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")
 
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
@@ -62,8 +73,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for experiment_id in ids:
         kwargs = {}
-        if args.seed is not None and _accepts_seed(experiment_id):
+        if args.seed is not None and _accepts(experiment_id, "seed"):
             kwargs["seed"] = args.seed
+        if args.jobs != 1 and _accepts(experiment_id, "jobs"):
+            kwargs["jobs"] = args.jobs
         started = time.perf_counter()
         result = run_experiment(experiment_id, **kwargs)
         elapsed = time.perf_counter() - started

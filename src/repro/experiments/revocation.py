@@ -21,12 +21,13 @@ from the revocation, must be below ``Te``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..core.host import AccessControlHost
 from ..core.manager import AccessControlManager
 from ..core.policy import AccessPolicy, DeltaMode, ExhaustedAction
 from ..core.rights import Right
+from ..runtime import run_trials
 from ..sim.clock import LocalClock
 from ..sim.engine import Environment
 from ..sim.network import FixedLatency, Network
@@ -120,29 +121,44 @@ def last_allowed_offset(
     return last_allowed - revoke_at
 
 
-def run(te_bound: float = 60.0, clock_bound: float = 1.1) -> ExperimentResult:
-    rows: List[List] = []
+def _measure_config(
+    config: Tuple[bool, float, DeltaMode, float, float], _trials: int, _seed: int
+) -> float:
+    """One (partition, clock-rate, delta-mode) cell — fully deterministic."""
+    partitioned, rate, mode, te_bound, clock_bound = config
+    return last_allowed_offset(
+        clock_rate=rate,
+        delta_mode=mode,
+        partitioned=partitioned,
+        te_bound=te_bound,
+        clock_bound=clock_bound,
+    )
+
+
+def run(
+    te_bound: float = 60.0,
+    clock_bound: float = 1.1,
+    jobs: Optional[int] = 1,
+) -> ExperimentResult:
     slowest = 1.0 / clock_bound
-    for partitioned in (True, False):
-        for rate in (slowest, 0.95, 1.0):
-            for mode in (DeltaMode.FULL_ROUND_TRIP, DeltaMode.HALF_ROUND_TRIP):
-                offset = last_allowed_offset(
-                    clock_rate=rate,
-                    delta_mode=mode,
-                    partitioned=partitioned,
-                    te_bound=te_bound,
-                    clock_bound=clock_bound,
-                )
-                rows.append(
-                    [
-                        "partitioned" if partitioned else "connected",
-                        round(rate, 4),
-                        mode.value,
-                        te_bound,
-                        offset,
-                        "OK" if offset < te_bound else "VIOLATION",
-                    ]
-                )
+    configs = [
+        (partitioned, rate, mode, te_bound, clock_bound)
+        for partitioned in (True, False)
+        for rate in (slowest, 0.95, 1.0)
+        for mode in (DeltaMode.FULL_ROUND_TRIP, DeltaMode.HALF_ROUND_TRIP)
+    ]
+    offsets = run_trials(_measure_config, configs, trials=1, seed=0, jobs=jobs)
+    rows: List[List] = [
+        [
+            "partitioned" if partitioned else "connected",
+            round(rate, 4),
+            mode.value,
+            te_bound,
+            offset,
+            "OK" if offset < te_bound else "VIOLATION",
+        ]
+        for (partitioned, rate, mode, _te, _b), offset in zip(configs, offsets)
+    ]
     return ExperimentResult(
         experiment_id="revocation",
         title="Time-bounded revocation holds under partitions and clock "

@@ -18,17 +18,18 @@ should fall inside it (asserted by the test suite for a fixed seed).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..analysis.quorum_math import availability, security
 from ..core.policy import AccessPolicy, ExhaustedAction, QueryStrategy
 from ..core.system import AccessControlSystem
 from ..metrics.estimators import wilson_interval
+from ..runtime import run_trials
 from ..sim.network import FixedLatency
 from ..sim.partitions import SampledConnectivity
 from .base import ExperimentResult
 
-__all__ = ["run", "simulate_pa", "simulate_ps"]
+__all__ = ["run", "simulate_pa", "simulate_ps", "simulate_cell"]
 
 #: One trial's wall-clock budget (simulated seconds).  With 50 ms fixed
 #: latency and a 1 s query timeout, every decision lands well inside it.
@@ -106,37 +107,56 @@ def simulate_ps(m: int, c: int, pi: float, trials: int, seed: int) -> Tuple[int,
     return successes, trials
 
 
+def simulate_cell(
+    config: Tuple[int, int, float], trials: int, seed: int
+) -> Tuple[int, int, int, int]:
+    """One ``(m, C, Pi)`` cell: both PA and PS counts for that cell.
+
+    The unit of parallel dispatch — a pure function of its arguments,
+    so a worker process produces exactly what the sequential loop would.
+    """
+    m, c, pi = config
+    pa_hits, pa_n = simulate_pa(m, c, pi, trials, seed)
+    ps_hits, ps_n = simulate_ps(m, c, pi, trials, seed)
+    return pa_hits, pa_n, ps_hits, ps_n
+
+
 def run(
     m: int = 10,
     cs: Sequence[int] = (1, 3, 5, 7, 10),
     pis: Sequence[float] = (0.1, 0.2),
     trials: int = 400,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> ExperimentResult:
-    """Simulate PA/PS for selected check quorums and compare to Table 1."""
+    """Simulate PA/PS for selected check quorums and compare to Table 1.
+
+    ``jobs`` fans the (Pi, C) cells out over worker processes; any value
+    produces byte-identical tables (each cell's randomness depends only
+    on its own arguments).
+    """
     columns = [
         "Pi", "C",
         "PA analytic", "PA simulated", "PA ci-low", "PA ci-high",
         "PS analytic", "PS simulated", "PS ci-low", "PS ci-high",
     ]
+    configs = [(m, c, pi) for pi in pis for c in cs]
+    cells = run_trials(simulate_cell, configs, trials, seed, jobs=jobs)
     rows: List[List[float]] = []
     all_within = True
-    for pi in pis:
-        for c in cs:
-            pa_hits, pa_n = simulate_pa(m, c, pi, trials, seed)
-            ps_hits, ps_n = simulate_ps(m, c, pi, trials, seed)
-            pa_hat, ps_hat = pa_hits / pa_n, ps_hits / ps_n
-            pa_lo, pa_hi = wilson_interval(pa_hits, pa_n)
-            ps_lo, ps_hi = wilson_interval(ps_hits, ps_n)
-            pa_true = availability(m, c, pi)
-            ps_true = security(m, c, pi)
-            eps = 1e-9  # float slack at the CI boundaries
-            if not (pa_lo - eps <= pa_true <= pa_hi + eps
-                    and ps_lo - eps <= ps_true <= ps_hi + eps):
-                all_within = False
-            rows.append(
-                [pi, c, pa_true, pa_hat, pa_lo, pa_hi, ps_true, ps_hat, ps_lo, ps_hi]
-            )
+    for (_m, c, pi), (pa_hits, pa_n, ps_hits, ps_n) in zip(configs, cells):
+        pa_hat, ps_hat = pa_hits / pa_n, ps_hits / ps_n
+        pa_lo, pa_hi = wilson_interval(pa_hits, pa_n)
+        ps_lo, ps_hi = wilson_interval(ps_hits, ps_n)
+        pa_true = availability(m, c, pi)
+        ps_true = security(m, c, pi)
+        eps = 1e-9  # float slack at the CI boundaries
+        if not (pa_lo - eps <= pa_true <= pa_hi + eps
+                and ps_lo - eps <= ps_true <= ps_hi + eps):
+            all_within = False
+        rows.append(
+            [pi, c, pa_true, pa_hat, pa_lo, pa_hi, ps_true, ps_hat, ps_lo, ps_hi]
+        )
     return ExperimentResult(
         experiment_id="sim_table1",
         title="Simulated protocol vs Table 1 analysis",

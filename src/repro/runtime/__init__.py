@@ -1,0 +1,54 @@
+"""Parallel replication runtime.
+
+The experiments in this repository are Monte Carlo studies whose
+replications are independent given their seeds — exactly the workload
+shape that fans out over processes with no coordination.  This package
+is the dispatch layer they share:
+
+``seeds``
+    Deterministic derivation of per-trial / per-replication seeds from
+    a master seed (extends :mod:`repro.sim.rng`), so a trial's
+    randomness depends only on ``(master_seed, trial_index)`` and never
+    on which worker ran it.
+
+``pool``
+    :func:`run_parallel` / :func:`run_trials` / :func:`run_replications`
+    — chunked dispatch over a ``ProcessPoolExecutor`` with graceful
+    inline fallback when ``jobs=1`` or the platform cannot fork.
+
+``merge``
+    Order-independent result merging: workers return ``(index, value)``
+    pairs in completion order; :func:`merge_ordered` restores submission
+    order so parallel output is bit-identical to sequential output.
+
+Determinism contract
+--------------------
+For every helper here, the result of ``jobs=N`` is **identical** to
+``jobs=1`` for any ``N``: work is partitioned by index, each unit's
+seed is a pure function of the master seed and the unit's index, and
+results are re-ordered by index before they are returned.
+"""
+
+from .merge import MergeError, merge_counts, merge_ordered
+from .pool import (
+    available_cpus,
+    resolve_jobs,
+    run_parallel,
+    run_replications,
+    run_trials,
+)
+from .seeds import seed_sequence, trial_seed, trial_streams
+
+__all__ = [
+    "MergeError",
+    "available_cpus",
+    "merge_counts",
+    "merge_ordered",
+    "resolve_jobs",
+    "run_parallel",
+    "run_replications",
+    "run_trials",
+    "seed_sequence",
+    "trial_seed",
+    "trial_streams",
+]

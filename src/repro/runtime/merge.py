@@ -1,0 +1,63 @@
+"""Order-independent merging of parallel results.
+
+Workers finish in whatever order the scheduler pleases; each returns
+``(index, value)`` pairs tagged with the submission index of the unit
+of work.  :func:`merge_ordered` restores submission order and verifies
+completeness, which is what makes parallel output bit-identical to the
+sequential loop it replaced.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MergeError", "merge_ordered", "merge_counts"]
+
+
+class MergeError(Exception):
+    """A parallel run produced an incomplete or inconsistent result set."""
+
+
+def merge_ordered(
+    indexed: Iterable[Tuple[int, Any]], expected: Optional[int] = None
+) -> List[Any]:
+    """Sort ``(index, value)`` pairs by index and return the values.
+
+    Raises :class:`MergeError` on duplicate indexes, or (when
+    ``expected`` is given) on missing ones — a lost chunk must be loud,
+    never a silently shorter result list.
+    """
+    pairs = sorted(indexed, key=lambda pair: pair[0])
+    indexes = [index for index, _value in pairs]
+    if len(set(indexes)) != len(indexes):
+        duplicates = sorted({i for i in indexes if indexes.count(i) > 1})
+        raise MergeError(f"duplicate result indexes: {duplicates}")
+    if expected is not None:
+        missing = sorted(set(range(expected)) - set(indexes))
+        extra = sorted(set(indexes) - set(range(expected)))
+        if missing or extra:
+            raise MergeError(
+                f"expected indexes 0..{expected - 1}; "
+                f"missing {missing or 'none'}, unexpected {extra or 'none'}"
+            )
+    return [value for _index, value in pairs]
+
+
+def merge_counts(results: Iterable[Sequence[float]]) -> Tuple[float, ...]:
+    """Element-wise sum of fixed-width count tuples.
+
+    The common reduction for ``(successes, trials)``-shaped replication
+    results; the sum is order-independent by construction.
+    """
+    total: Optional[List[float]] = None
+    for result in results:
+        if total is None:
+            total = list(result)
+        elif len(result) != len(total):
+            raise MergeError(
+                f"count tuples disagree on width: {len(total)} vs {len(result)}"
+            )
+        else:
+            for i, value in enumerate(result):
+                total[i] += value
+    return tuple(total or ())

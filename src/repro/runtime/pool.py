@@ -1,0 +1,158 @@
+"""Chunked process-pool dispatch with a deterministic inline fallback.
+
+:func:`run_parallel` is the primitive: apply a module-level function to
+a list of argument tuples, fanning the work out over a
+``ProcessPoolExecutor`` when ``jobs > 1`` and the platform supports
+``fork``, and falling back to a plain in-order loop otherwise.  The two
+paths produce identical results (see :mod:`repro.runtime.merge`).
+
+:func:`run_trials` and :func:`run_replications` are the two shapes the
+experiment layer actually uses:
+
+* ``run_trials(fn, configs, trials, seed, jobs)`` — one unit of work
+  per *configuration cell* (a ``(m, C, pi)`` tuple, a baseline-system
+  name, ...), each running its own ``trials``-replication study with
+  the shared master ``seed``.  This parallelises a sweep without
+  perturbing any cell's internal randomness, so tables come out
+  byte-identical to the sequential loop.
+* ``run_replications(fn, trials, seed, jobs)`` — one unit of work per
+  *trial*, each handed ``trial_seed(seed, i)``; for experiments whose
+  replications are fully independent.
+
+Functions dispatched here must be picklable (defined at module top
+level); with the ``fork`` start method they are pickled by reference,
+so closures over module state are fine but lambdas are not.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .merge import merge_ordered
+from .seeds import trial_seed
+
+__all__ = [
+    "available_cpus",
+    "resolve_jobs",
+    "run_parallel",
+    "run_trials",
+    "run_replications",
+]
+
+#: Chunks submitted per worker: small enough to amortise IPC, large
+#: enough that an uneven chunk cannot idle the rest of the pool long.
+_CHUNKS_PER_JOB = 4
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all CPUs."""
+    if jobs is None or jobs == 0:
+        return available_cpus()
+    if jobs < 0:
+        raise ValueError(f"jobs must be positive (or 0 for all CPUs), got {jobs}")
+    return jobs
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_chunk(
+    fn: Callable[..., Any], start: int, chunk: Sequence[Tuple[Any, ...]]
+) -> List[Tuple[int, Any]]:
+    """Worker body: apply ``fn`` to a contiguous slice, tagging indexes."""
+    return [(start + i, fn(*task)) for i, task in enumerate(chunk)]
+
+
+def _chunked(
+    tasks: Sequence[Tuple[Any, ...]], jobs: int, chunk_size: Optional[int]
+) -> List[Tuple[int, Sequence[Tuple[Any, ...]]]]:
+    if chunk_size is None:
+        chunk_size = max(1, len(tasks) // (jobs * _CHUNKS_PER_JOB))
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        (start, tasks[start:start + chunk_size])
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+def run_parallel(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    jobs: Optional[int] = 1,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(*task) for task in tasks]``, fanned over ``jobs`` processes.
+
+    Results come back in task order regardless of completion order.
+    Runs inline (no pool, no pickling) when the effective job count is
+    1, there is at most one task, or the platform lacks ``fork``.
+    Exceptions raised by ``fn`` propagate to the caller on both paths.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1 or not _fork_available():
+        return [fn(*task) for task in tasks]
+
+    chunks = _chunked(tasks, jobs, chunk_size)
+    context = multiprocessing.get_context("fork")
+    try:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(chunks)), mp_context=context
+        )
+    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
+        return [fn(*task) for task in tasks]
+    indexed: List[Tuple[int, Any]] = []
+    with pool:
+        futures = [
+            pool.submit(_run_chunk, fn, start, chunk) for start, chunk in chunks
+        ]
+        for future in as_completed(futures):
+            indexed.extend(future.result())
+    return merge_ordered(indexed, expected=len(tasks))
+
+
+def run_trials(
+    fn: Callable[[Any, int, int], Any],
+    configs: Sequence[Any],
+    trials: int,
+    seed: int,
+    jobs: Optional[int] = 1,
+) -> List[Any]:
+    """Run ``fn(config, trials, seed)`` for every config, in config order.
+
+    The shared helper behind the experiment sweeps: each configuration
+    cell is an independent unit of work whose randomness is a function
+    of ``(config, trials, seed)`` alone, so any ``jobs`` value yields
+    the same list the sequential ``for config in configs`` loop would.
+    """
+    return run_parallel(fn, [(config, trials, seed) for config in configs], jobs)
+
+
+def run_replications(
+    fn: Callable[[int, int], Any],
+    trials: int,
+    seed: int,
+    jobs: Optional[int] = 1,
+    label: str = "trial",
+) -> List[Any]:
+    """Run ``fn(trial_index, trial_seed)`` for trials ``0 .. trials-1``.
+
+    Per-trial fan-out for fully independent replications; trial ``i``
+    always receives :func:`repro.runtime.seeds.trial_seed(seed, i)
+    <repro.runtime.seeds.trial_seed>` no matter which worker runs it.
+    """
+    tasks = [(i, trial_seed(seed, i, label=label)) for i in range(trials)]
+    return run_parallel(fn, tasks, jobs)

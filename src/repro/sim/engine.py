@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections.abc import Mapping
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "Timeout",
     "Process",
     "Condition",
+    "ConditionValue",
     "AnyOf",
     "AllOf",
     "Interrupt",
@@ -100,7 +102,9 @@ class Event:
     ``callbacks`` once the event is processed raises ``SimulationError``.
     """
 
-    __slots__ = ("env", "_value", "_ok", "_triggered", "_processed", "_callbacks")
+    __slots__ = (
+        "env", "_value", "_ok", "_triggered", "_processed", "_waiter", "_callbacks"
+    )
 
     #: Sentinel for "no value yet".
     _PENDING = object()
@@ -111,7 +115,12 @@ class Event:
         self._ok: Optional[bool] = None
         self._triggered = False
         self._processed = False
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # Fast path for the overwhelmingly common "one process waiting on
+        # one event" case: the waiting Process is stored directly instead
+        # of allocating a callback list and a bound method.  ``_callbacks``
+        # stays ``None`` until a second waiter actually appears.
+        self._waiter: Optional["Process"] = None
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -173,14 +182,22 @@ class Event:
         """
         if self._processed:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
     def _process(self) -> None:
         self._processed = True
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume(self)
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = None
+            for callback in callbacks:
+                callback(self)
 
     def __and__(self, other: "Event") -> "Condition":
         return AllOf(self.env, [self, other])
@@ -205,12 +222,41 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__: a Timeout is born triggered, so skip
+        # the generic pending-state setup and the re-assignments that
+        # ``super().__init__`` + ``succeed()`` would cost on this path —
+        # Timeouts are the single most-allocated event type.
+        self.env = env
         self._value = value
+        self._ok = True
         self._triggered = True
+        self._processed = False
+        self._waiter = None
+        self._callbacks = None
+        self.delay = delay
         env._schedule(self, delay)
+
+
+class _Bootstrap:
+    """Minimal queue entry that starts a process at the current instant.
+
+    Mimics just enough of a processed-successfully :class:`Event`
+    (``_ok``/``_value``/``_process``) to resume the generator, without
+    paying for a full ``Event`` allocation per process start.
+    """
+
+    __slots__ = ("_waiter",)
+
+    _ok = True
+    _value: Any = None
+
+    def __init__(self, process: "Process"):
+        self._waiter = process
+
+    def _process(self) -> None:
+        waiter = self._waiter
+        self._waiter = None
+        waiter._resume(self)
 
 
 class Process(Event):
@@ -237,12 +283,7 @@ class Process(Event):
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Kick the process off at the current instant.
-        bootstrap = Event(env)
-        bootstrap._ok = True
-        bootstrap._value = None
-        bootstrap._triggered = True
-        bootstrap.add_callback(self._resume)
-        env._schedule(bootstrap, 0.0)
+        env._schedule(_Bootstrap(self), 0.0)
 
     @property
     def is_alive(self) -> bool:
@@ -266,10 +307,13 @@ class Process(Event):
         if self._target is not None:
             target = self._target
             if not target._processed:
-                try:
-                    target._callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+                if target._waiter is self:
+                    target._waiter = None
+                elif target._callbacks is not None:
+                    try:
+                        target._callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
             self._target = None
         interrupt_event.add_callback(self._resume)
         self.env._schedule(interrupt_event, 0.0)
@@ -299,10 +343,62 @@ class Process(Event):
                 self.fail(exc)
             return
         self._target = next_event
-        next_event.add_callback(self._resume)
+        # Fast path for the dominant wait shape — ``yield env.timeout(d)``
+        # on a fresh Timeout: park this process in the event's single
+        # waiter slot instead of materialising a callback list and a
+        # bound method.  Guarded so that any event with existing waiters
+        # (or one already processed) keeps exact callback ordering.
+        if (
+            type(next_event) is Timeout
+            and not next_event._processed
+            and next_event._waiter is None
+            and next_event._callbacks is None
+        ):
+            next_event._waiter = self
+        else:
+            next_event.add_callback(self._resume)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'done' if self._triggered else 'alive'}>"
+
+
+class ConditionValue(Mapping):
+    """Lazily-materialized value of a fired condition.
+
+    Behaves exactly like the dict ``{event: value}`` of the sub-events
+    that had succeeded when the condition triggered, but the dict is
+    only built if somebody actually inspects the value.  The protocol
+    code almost never does — it yields ``env.any_of([response, timer])``
+    and then checks ``response.triggered`` directly — so the common case
+    pays for a tuple snapshot instead of a dict per wait.
+    """
+
+    __slots__ = ("_events", "_map")
+
+    def __init__(self, events: tuple):
+        self._events = events  # sub-events already succeeded at trigger time
+        self._map: Optional[dict] = None
+
+    def _materialize(self) -> dict:
+        mapping = self._map
+        if mapping is None:
+            mapping = self._map = {event: event._value for event in self._events}
+        return mapping
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._materialize()
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
 
 
 class Condition(Event):
@@ -335,9 +431,15 @@ class Condition(Event):
         self._pending -= 1
         self._evaluate(event)
 
-    def _results(self) -> dict[Event, Any]:
-        """Map each already-processed sub-event to its value."""
-        return {e: e._value for e in self._events if e._processed and e._ok}
+    def _results(self) -> ConditionValue:
+        """Lazy mapping of each already-processed sub-event to its value.
+
+        The snapshot of *which* events count is taken now (trigger
+        time); the backing dict is only built if the value is used.
+        """
+        return ConditionValue(
+            tuple(e for e in self._events if e._processed and e._ok)
+        )
 
 
 class AnyOf(Condition):
@@ -439,11 +541,21 @@ class Environment:
                 raise SimulationError(
                     f"run(until={until}) is in the past (now={self._now})"
                 )
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    break
-                self.step()
-            if until is not None:
+            # Hot loop: ``step`` inlined with local bindings — per-event
+            # method-call and attribute-lookup overhead dominates the
+            # protocol benchmarks otherwise.
+            queue = self._queue
+            pop = heapq.heappop
+            if until is None:
+                while queue:
+                    when, _priority, _eid, event = pop(queue)
+                    self._now = when
+                    event._process()
+            else:
+                while queue and queue[0][0] <= until:
+                    when, _priority, _eid, event = pop(queue)
+                    self._now = when
+                    event._process()
                 self._now = max(self._now, until)
         finally:
             self._active = False

@@ -57,6 +57,16 @@ class TestFormatting:
         text = format_table(["x"], [])
         assert "x" in text
 
+    def test_format_short_row_raises_value_error(self):
+        # Regression: a short row used to escape as IndexError from the
+        # width computation; it must be a clear ValueError instead.
+        with pytest.raises(ValueError, match="row 1 has 1 cells, expected 2"):
+            format_table(["a", "b"], [[1, 2], [3]])
+
+    def test_format_long_row_raises_value_error(self):
+        with pytest.raises(ValueError, match="row 0 has 3 cells, expected 2"):
+            format_table(["a", "b"], [[1, 2, 3]])
+
     def test_ascii_plot_renders(self):
         plot = ascii_plot({"PA": [0.1, 0.9], "PS": [0.9, 0.1]}, [1, 2])
         assert "PA" in plot and "PS" in plot
@@ -276,3 +286,19 @@ class TestCli:
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
         assert "0.38742" in out
+
+    def test_jobs_flag_accepted_and_output_identical(self, capsys):
+        from repro.experiments.cli import main
+
+        # An analytic experiment ignores --jobs; a simulated one fans
+        # out — both must succeed and print the same rows as jobs=1.
+        assert main(["table1", "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert main(["revocation", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["revocation", "--jobs", "1"]) == 0
+        sequential_out = capsys.readouterr().out
+        strip = lambda text: [
+            line for line in text.splitlines() if "completed in" not in line
+        ]
+        assert strip(parallel_out) == strip(sequential_out)

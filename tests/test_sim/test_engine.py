@@ -342,6 +342,94 @@ class TestDeterminism:
         assert build_and_run() == build_and_run()
 
 
+class TestFastPaths:
+    """The allocation-avoiding paths must be behaviourally invisible."""
+
+    def test_single_timeout_wait_uses_waiter_slot(self, env):
+        def sleeper():
+            yield env.timeout(5)
+            return "ok"
+
+        process = env.process(sleeper())
+        env.run(until=1)  # past the bootstrap; the process waits on the timeout
+        target = process._target
+        assert isinstance(target, Timeout)
+        assert target._waiter is process and target._callbacks is None
+        env.run()
+        assert process.value == "ok"
+
+    def test_timeout_with_prior_callback_keeps_callback_order(self, env):
+        order = []
+        timeout = env.timeout(3)
+        timeout.add_callback(lambda _e: order.append("callback"))
+
+        def waiter():
+            yield timeout
+            order.append("process")
+
+        env.process(waiter())
+        env.run()
+        assert order == ["callback", "process"]
+
+    def test_waiter_resumes_before_later_callbacks(self, env):
+        # The process yielded first, so it registered first and must
+        # still resume first even though it sits in the waiter slot.
+        order = []
+        timeout = env.timeout(3)
+
+        def waiter():
+            yield timeout
+            order.append("process")
+
+        env.process(waiter())
+        env.run(until=1)
+        timeout.add_callback(lambda _e: order.append("callback"))
+        env.run()
+        assert order == ["process", "callback"]
+
+    def test_condition_value_behaves_like_dict(self, env):
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(9, value="slow")
+
+        def proc():
+            result = yield env.any_of([fast, slow])
+            return result
+
+        process = env.process(proc())
+        env.run()
+        value = process.value
+        assert value == {fast: "fast"}
+        assert fast in value and slow not in value
+        assert list(value) == [fast]
+        assert len(value) == 1
+        assert value.get(slow, "absent") == "absent"
+        assert dict(value) == {fast: "fast"}
+
+    def test_condition_value_snapshot_taken_at_trigger(self, env):
+        # Sub-events succeeding after the condition fired must not leak
+        # into a value that is only inspected later.
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(9, value="slow")
+        condition = env.any_of([fast, slow])
+        env.run()  # both timeouts processed; condition fired at t=1
+        assert slow.processed
+        assert condition.value == {fast: "fast"}
+
+    def test_bootstrap_start_order_matches_schedule_order(self, env):
+        order = []
+
+        def worker(tag):
+            order.append(tag)
+            yield env.timeout(0)
+
+        env.process(worker("first"))
+        event = env.timeout(0)
+        event.add_callback(lambda _e: order.append("timeout"))
+        env.process(worker("second"))
+        env.run()
+        assert order == ["first", "timeout", "second"]
+
+
 class TestEngineDeepEdges:
     def test_interrupt_process_waiting_on_condition(self, env):
         from repro.sim.engine import AnyOf
