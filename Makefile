@@ -1,12 +1,18 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-baseline bench-compare experiments examples all clean
+.PHONY: install test test-slow fuzz bench bench-baseline bench-compare experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+test-slow:
+	PYTHONPATH=src python -m pytest -q -m slow
+
+fuzz:
+	PYTHONPATH=src python -m repro fuzz --cells 50 --seed 7 --jobs 4
 
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only

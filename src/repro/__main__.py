@@ -1,0 +1,8 @@
+"""``python -m repro`` — same entry point as the ``repro`` /
+``repro-experiments`` console scripts (experiments plus the ``fuzz``
+subcommand)."""
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

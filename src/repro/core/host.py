@@ -375,16 +375,23 @@ class AccessControlHost(Node):
                 user=user,
                 reason=reason,
                 attempts=attempts,
+                responses=responses,
                 latency=decision.latency,
             )
             return decision
 
         # -- Figure 3 fast path: the cache ------------------------------------
         cache = self.cache_for(application)
-        lookup = cache.lookup(user, right, self.clock.now())
+        now_local = self.clock.now()
+        lookup = cache.lookup(user, right, now_local)
         if lookup.hit:
             tracer.publish(
-                TraceKind.CACHE_HIT, self.address, application=application, user=user
+                TraceKind.CACHE_HIT,
+                self.address,
+                application=application,
+                user=user,
+                limit=lookup.entry.limit,
+                now_local=now_local,
             )
             return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
         tracer.publish(
@@ -469,6 +476,17 @@ class AccessControlHost(Node):
                             user=user, right=right, limit=limit, version=best.version
                         ),
                         now_local=self.clock.now() if user_driven else None,
+                    )
+                    self.tracer.publish(
+                        TraceKind.CACHE_STORED,
+                        self.address,
+                        application=application,
+                        user=user,
+                        right=str(right),
+                        limit=limit,
+                        send_local=send_local,
+                        now_local=self.clock.now(),
+                        te=best.te,
                     )
                     self._deny_cache.pop((application, user, right), None)
                     return (_GRANT, attempts, len(responses))

@@ -253,6 +253,7 @@ class AccessControlManager(Node):
             right=str(right),
             grant=grant,
             update_id=update.update_id,
+            version=(update.version.counter, update.version.origin),
         )
         quorum_event = self.env.event()
         done_event = self.env.event()

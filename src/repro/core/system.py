@@ -29,7 +29,7 @@ from ..sim.failures import CrashRecoveryInjector
 from ..sim.network import LatencyModel, Network, ShiftedExponentialLatency
 from ..sim.partitions import ConnectivityModel, FullConnectivity
 from ..sim.rng import RngStreams
-from ..sim.trace import Tracer
+from ..sim.trace import TraceKind, Tracer
 from .manager import AccessControlManager
 from .name_service import TrustedNameService
 from .policy import AccessPolicy
@@ -74,6 +74,14 @@ class AccessControlSystem:
         injection for that node class.
     keep_trace_log:
         Retain every trace record in memory (tests, debugging).
+    check_invariants:
+        Attach a :class:`repro.verify.InvariantChecker` that raises
+        :class:`repro.verify.InvariantViolation` the moment a protocol
+        invariant breaks.  ``None`` (the default) defers to
+        :func:`repro.verify.checking_enabled`, so exporting
+        ``REPRO_CHECK_INVARIANTS=1`` (or the CLI's
+        ``--check-invariants``) turns checking on for every system any
+        experiment constructs.
     """
 
     def __init__(
@@ -93,6 +101,7 @@ class AccessControlSystem:
         seed: int = 0,
         keep_trace_log: bool = False,
         recheck_on_delivery: bool = False,
+        check_invariants: Optional[bool] = None,
     ):
         if n_managers < 1:
             raise ValueError("need at least one manager")
@@ -182,6 +191,29 @@ class AccessControlSystem:
                 tracer=self.tracer,
             )
 
+        self.checker = None
+        if check_invariants is None:
+            from ..verify import checking_enabled
+
+            check_invariants = checking_enabled()
+        if check_invariants:
+            self.attach_invariant_checker(raise_on_violation=True)
+
+    # -- invariant checking --------------------------------------------------------
+    def attach_invariant_checker(self, raise_on_violation: bool = True):
+        """Attach the online protocol-invariant oracles to this system.
+
+        Returns the :class:`repro.verify.InvariantChecker`; with
+        ``raise_on_violation=False`` violations accumulate in
+        ``checker.violations`` instead of raising (the fuzzer's mode).
+        """
+        from ..verify import InvariantChecker
+
+        self.checker = InvariantChecker(
+            self, raise_on_violation=raise_on_violation
+        )
+        return self.checker
+
     # -- convenience ------------------------------------------------------------
     @property
     def n_managers(self) -> int:
@@ -208,6 +240,13 @@ class AccessControlSystem:
         )
         for manager in self.managers:
             manager.bootstrap(application, [entry])
+        self.tracer.publish(
+            TraceKind.GRANT_SEEDED,
+            "system",
+            application=application,
+            user=user,
+            right=str(right),
+        )
 
     def seed_grants(
         self, application: str, users: Iterable[str], right: Right = Right.USE

@@ -3,12 +3,22 @@
 Runs the requested experiments (default: all) and prints each result
 table.  ``--list`` shows the available ids.  This is how the numbers in
 EXPERIMENTS.md were produced.
+
+Two protocol-conformance extras (see ``docs/PROTOCOL.md``):
+
+* ``repro-experiments fuzz --cells N --jobs J --seed S`` — the
+  fault-schedule fuzzer; ``--schedule file.json`` replays a saved
+  (typically shrunk) schedule instead.
+* ``--check-invariants`` — attach the online invariant oracles to every
+  system the selected experiments construct; any protocol violation
+  aborts the run with a structured error.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 from typing import List, Optional
@@ -18,12 +28,89 @@ from . import EXPERIMENTS, run_experiment
 __all__ = ["main"]
 
 
+def _fuzz_main(argv: List[str]) -> int:
+    """The ``fuzz`` subcommand: randomized fault schedules vs oracles."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments fuzz",
+        description=(
+            "Run seeded random fault/partition/clock-drift schedules "
+            "against the protocol invariant oracles; failures are shrunk "
+            "to a minimal replayable schedule JSON."
+        ),
+    )
+    parser.add_argument(
+        "--cells", type=int, default=25, metavar="N",
+        help="number of fuzz cells to derive and run (default: 25)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="master seed; cell i is a pure function of (S, i)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="J",
+        help="worker processes (0 = all CPUs; results identical for any J)",
+    )
+    parser.add_argument(
+        "--schedule", metavar="FILE", default=None,
+        help="replay one saved schedule JSON instead of deriving cells",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimising their schedules",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default=".",
+        help="directory for minimal failing schedules (default: .)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")
+
+    from ..verify import Schedule, run_cell, run_fuzz
+
+    if args.schedule is not None:
+        schedule = Schedule.load(args.schedule)
+        print(f"replaying {args.schedule}: {schedule.describe()}")
+        result = run_cell(schedule)
+        if result.ok:
+            print("replay passed: no invariant violations")
+            return 0
+        for violation in result.violations:
+            print(
+                f"[{violation['invariant']}] t={violation['time']:.3f}: "
+                f"{violation['message']}"
+            )
+        return 1
+
+    if args.cells < 1:
+        parser.error(f"--cells must be positive, got {args.cells}")
+    started = time.perf_counter()
+    report = run_fuzz(
+        args.seed, args.cells, jobs=args.jobs, shrink=not args.no_shrink
+    )
+    elapsed = time.perf_counter() - started
+    print(report.summary())
+    for failure in report.failures:
+        invariant = failure.violations[0]["invariant"]
+        path = os.path.join(
+            args.out, f"fuzz-cell{failure.cell}-{invariant}.json"
+        )
+        failure.minimal.save(path)
+        print(f"  minimal schedule written to {path}")
+    print(f"[fuzz completed in {elapsed:.2f}s]")
+    return 0 if report.ok else 1
+
+
 def _accepts(experiment_id: str, parameter: str) -> bool:
     signature = inspect.signature(EXPERIMENTS[experiment_id])
     return parameter in signature.parameters
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return _fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -54,7 +141,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fan simulation cells out over N worker processes "
         "(0 = all CPUs; results are identical for every N)",
     )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="attach the protocol invariant oracles to every system the "
+        "experiments build; a violation aborts with a structured error",
+    )
     args = parser.parse_args(argv)
+
+    if args.check_invariants:
+        from ..verify import set_checking
+
+        set_checking(True)
+        # Worker processes inherit the environment, not this module's
+        # flag, so parallel cells stay checked too.
+        os.environ["REPRO_CHECK_INVARIANTS"] = "1"
 
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -40,6 +41,7 @@ __all__ = [
     "run_parallel",
     "run_trials",
     "run_replications",
+    "last_run_mode",
 ]
 
 #: Chunks submitted per worker: small enough to amortise IPC, large
@@ -66,6 +68,36 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+#: How the most recent :func:`run_parallel` call actually executed:
+#: ``"pool"``, ``"inline"`` (1 job / 1 task — expected), or
+#: ``"inline-fallback"`` (parallelism was requested but unavailable).
+_last_run_mode: Optional[str] = None
+
+
+def last_run_mode() -> Optional[str]:
+    """Effective execution mode of the most recent ``run_parallel`` call
+    in this process (``None`` before the first call)."""
+    return _last_run_mode
+
+
+def _run_inline(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    mode: str,
+    reason: Optional[str] = None,
+) -> List[Any]:
+    global _last_run_mode
+    _last_run_mode = mode
+    if reason is not None:
+        warnings.warn(
+            f"run_parallel: falling back to inline execution ({reason}); "
+            f"results are identical but wall-clock speedup is lost",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return [fn(*task) for task in tasks]
 
 
 def _run_chunk(
@@ -98,13 +130,27 @@ def run_parallel(
 
     Results come back in task order regardless of completion order.
     Runs inline (no pool, no pickling) when the effective job count is
-    1, there is at most one task, or the platform lacks ``fork``.
+    1 or there is at most one task.  When parallelism *was* requested
+    but the platform lacks ``fork`` (or pool creation is denied), the
+    call still runs inline — with the same results — but emits a
+    ``RuntimeWarning`` and records the fact, observable via
+    :func:`last_run_mode`, so a silently serial "parallel" run cannot
+    masquerade as a pooled one.
     Exceptions raised by ``fn`` propagate to the caller on both paths.
     """
+    global _last_run_mode
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1 or not _fork_available():
-        return [fn(*task) for task in tasks]
+    if jobs <= 1 or len(tasks) <= 1:
+        return _run_inline(fn, tasks, "inline")
+    if not _fork_available():
+        return _run_inline(
+            fn,
+            tasks,
+            "inline-fallback",
+            reason=f"the 'fork' start method is unavailable on this "
+            f"platform, cannot honour jobs={jobs}",
+        )
 
     chunks = _chunked(tasks, jobs, chunk_size)
     context = multiprocessing.get_context("fork")
@@ -112,8 +158,14 @@ def run_parallel(
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)), mp_context=context
         )
-    except (OSError, PermissionError):  # pragma: no cover - sandboxed hosts
-        return [fn(*task) for task in tasks]
+    except (OSError, PermissionError) as exc:  # pragma: no cover - sandboxed hosts
+        return _run_inline(
+            fn,
+            tasks,
+            "inline-fallback",
+            reason=f"process pool creation failed ({exc!r})",
+        )
+    _last_run_mode = "pool"
     indexed: List[Tuple[int, Any]] = []
     with pool:
         futures = [

@@ -40,12 +40,14 @@ class TraceKind:
     CACHE_HIT = "cache_hit"
     CACHE_MISS = "cache_miss"
     CACHE_EXPIRED = "cache_expired"
+    CACHE_STORED = "cache_stored"  # verified grant entered the cache
     CACHE_FLUSHED = "cache_flushed"  # revocation notification arrived
     QUERY_SENT = "query_sent"
     QUERY_ANSWERED = "query_answered"
     QUERY_TIMEOUT = "query_timeout"
 
     # -- manager-side access control -----------------------------------------
+    GRANT_SEEDED = "grant_seeded"  # out-of-protocol bootstrap grant
     UPDATE_ISSUED = "update_issued"
     UPDATE_QUORUM_REACHED = "update_quorum_reached"
     UPDATE_FULLY_PROPAGATED = "update_fully_propagated"

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.policy import AccessPolicy, ExhaustedAction
 from repro.core.rights import Right
 from repro.core.system import AccessControlSystem

@@ -13,6 +13,7 @@ from repro.runtime.merge import MergeError, merge_counts, merge_ordered
 from repro.runtime.pool import (
     _chunked,
     available_cpus,
+    last_run_mode,
     resolve_jobs,
     run_parallel,
     run_replications,
@@ -92,6 +93,47 @@ class TestRunParallel:
     def test_worker_exception_propagates_from_pool(self):
         with pytest.raises(RuntimeError, match="boom"):
             run_parallel(_boom, [(i,) for i in range(8)], jobs=2)
+
+
+class TestRunMode:
+    def test_single_job_is_inline_and_silent(self, recwarn):
+        run_parallel(_square, [(1,), (2,)], jobs=1)
+        assert last_run_mode() == "inline"
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_single_task_is_inline_and_silent(self, recwarn):
+        run_parallel(_square, [(1,)], jobs=4)
+        assert last_run_mode() == "inline"
+        assert not [w for w in recwarn if w.category is RuntimeWarning]
+
+    def test_pooled_run_records_pool_mode(self):
+        run_parallel(_square, [(i,) for i in range(8)], jobs=2)
+        assert last_run_mode() == "pool"
+
+    def test_fork_unavailable_warns_and_records_fallback(self, monkeypatch):
+        from repro.runtime import pool
+
+        monkeypatch.setattr(pool, "_fork_available", lambda: False)
+        tasks = [(i,) for i in range(6)]
+        with pytest.warns(RuntimeWarning, match="falling back to inline"):
+            results = run_parallel(_square, tasks, jobs=4)
+        assert results == [i * i for i in range(6)]
+        assert last_run_mode() == "inline-fallback"
+
+    def test_pool_creation_failure_warns_and_records_fallback(
+        self, monkeypatch
+    ):
+        from repro.runtime import pool
+
+        def denied(*args, **kwargs):
+            raise PermissionError("no subprocesses here")
+
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", denied)
+        tasks = [(i,) for i in range(6)]
+        with pytest.warns(RuntimeWarning, match="pool creation failed"):
+            results = run_parallel(_square, tasks, jobs=4)
+        assert results == [i * i for i in range(6)]
+        assert last_run_mode() == "inline-fallback"
 
 
 class TestRunTrials:
