@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-slow fuzz bench bench-baseline bench-compare experiments examples all clean
+.PHONY: install test test-slow lint fuzz bench bench-baseline bench-compare experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 test-slow:
 	PYTHONPATH=src python -m pytest -q -m slow
+
+lint:
+	ruff check src/repro/core src/repro/protocols
+	mypy
 
 fuzz:
 	PYTHONPATH=src python -m repro fuzz --cells 50 --seed 7 --jobs 4

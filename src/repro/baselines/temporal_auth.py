@@ -25,13 +25,13 @@ days-to-months vs the paper's seconds-to-minutes ``Te``), overhead is
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Callable, Dict, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 from ..core.acl import AccessControlList
 from ..core.host import AccessDecision, DecisionReason
 from ..core.messages import QueryRequest, QueryResponse, Verdict
 from ..core.rights import Right, Version, hlc_counter
+from ..protocols.messaging import ReplyTable, request
 from ..sim.clock import LocalClock
 from ..sim.node import Address, Node
 from ..sim.trace import TraceKind
@@ -133,8 +133,7 @@ class TemporalHost(Node):
         self.query_timeout = query_timeout
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
-        self._query_ids = itertools.count(1)
-        self._pending: Dict[int, Callable[[QueryResponse], None]] = {}
+        self._pending = ReplyTable()
         # leases[app][(user, right)] = local-clock expiry
         self._leases: Dict[str, Dict[Tuple[str, Right], float]] = {}
         self.stats = {"checks": 0, "allowed": 0, "denied": 0, "lease_hits": 0}
@@ -168,25 +167,17 @@ class TemporalHost(Node):
         while attempts < self.max_attempts:
             attempts += 1
             authority = self.authorities[(attempts - 1) % len(self.authorities)]
-            qid = next(self._query_ids)
             send_local = self.clock.now()
-            arrival = self.env.event()
-            self._pending[qid] = (
-                lambda response, ev=arrival: ev.succeed(response)
-                if not ev.triggered
-                else None
-            )
-            self.send(
+            response = yield from request(
+                self,
+                self._pending,
                 authority,
-                QueryRequest(
+                lambda qid: QueryRequest(
                     query_id=qid, application=application, user=user, right=right
                 ),
+                self.query_timeout,
             )
-            timer = self.env.timeout(self.query_timeout)
-            yield self.env.any_of([arrival, timer])
-            self._pending.pop(qid, None)
-            if arrival.triggered and arrival.ok:
-                response: QueryResponse = arrival.value
+            if response is not None:
                 allowed = response.verdict == Verdict.GRANT
                 if allowed:
                     leases[(user, right)] = send_local + response.te
@@ -223,9 +214,7 @@ class TemporalHost(Node):
 
     def handle_message(self, src: Address, message: Any) -> None:
         if isinstance(message, QueryResponse):
-            callback = self._pending.pop(message.query_id, None)
-            if callback is not None:
-                callback(message)
+            self._pending.dispatch(message.query_id, message)
 
     def on_crash(self) -> None:
         self._leases.clear()

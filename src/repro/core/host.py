@@ -2,31 +2,21 @@
 
 This module implements the *Access Control* and *Access Control
 Management* components of Figure 1 as they exist on a host running the
-application: the cached-check algorithm of Figures 2 and 3, the
-high-availability default-allow rule of Figure 4, check-quorum
-collection (Section 3.3), name-service lookup of the manager set
-(Section 3.2), and crash/recovery behaviour (Section 3.4: on recovery
-"ACL_cache(A) can simply be initialized to null").
+application.  The protocol logic itself lives in
+:mod:`repro.protocols`: :class:`~repro.protocols.VerificationPipeline`
+runs the cached-check algorithm of Figures 2 and 3 (and Figure 4's
+default-allow rule), composed from a query planner, a response
+combiner, a manager resolver, and a decision policy — all selected by
+the application's :class:`~repro.core.policy.AccessPolicy`.  This
+class is the thin :class:`~repro.sim.node.Node` shell: per-host state
+(caches, pending-reply tables, stats), message dispatch, and
+crash/recovery behaviour (Section 3.4: on recovery "ACL_cache(A) can
+simply be initialized to null").
 
-Beyond the paper's text, three optional extensions are implemented
-(all off by default, selected through :class:`~repro.core.policy.
-AccessPolicy`):
-
-* **Refresh-ahead** — a background sweep re-verifies cached entries
-  shortly before they expire, hiding the cache-miss latency from users
-  at the cost of slightly earlier refresh traffic (the same O(C/Te)
-  rate, phase-shifted).
-* **Negative caching** — denials are remembered for a short TTL,
-  shedding repeated query load from unauthorized traffic.  A stale
-  cached denial can delay a fresh ``Add`` by at most the TTL (it can
-  never extend access, so the Te guarantee is unaffected).
-* **Byzantine tolerance** (the paper's footnote 2) — with
-  ``byzantine_f = f > 0``, a verdict is accepted only when at least
-  ``f + 1`` managers vouch for the same (verdict, version) pair, so up
-  to ``f`` lying managers can neither forge a grant nor force a denial
-  by themselves.  Combine with signed responses (a
-  ``manager_authenticator``) so liars cannot impersonate honest
-  managers.
+The optional extensions (refresh-ahead, negative caching, Byzantine
+``f + 1`` vouching per footnote 2) are compositions in the protocol
+layer; see :mod:`repro.protocols` and :class:`~repro.core.policy.
+AccessPolicy`.
 
 The central entry point is :meth:`AccessControlHost.check_access`, a
 process generator that resolves to an :class:`AccessDecision`::
@@ -39,25 +29,19 @@ process generator that resolves to an :class:`AccessDecision`::
 from __future__ import annotations
 
 import itertools
-from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..auth.identity import Authenticator, SignedMessage
+from ..protocols.maintenance import CacheMaintenance
+from ..protocols.messaging import ReplyTable
+from ..protocols.pipeline import VerificationPipeline
 from ..sim.clock import LocalClock
 from ..sim.node import Address, Node
 from ..sim.trace import TraceKind
-from .cache import ACLCache, CacheEntry
-from .messages import (
-    NameLookup,
-    NameResult,
-    QueryRequest,
-    QueryResponse,
-    RevokeNotify,
-    RevokeNotifyAck,
-    Verdict,
-)
-from .policy import AccessPolicy, DeltaMode, ExhaustedAction, QueryStrategy
+from .cache import ACLCache
+from .messages import NameResult, QueryResponse, RevokeNotify, RevokeNotifyAck
+from .policy import AccessPolicy
 from .rights import Right
 
 __all__ = ["AccessControlHost", "AccessDecision", "DecisionReason"]
@@ -91,10 +75,6 @@ class AccessDecision:
 
     def __bool__(self) -> bool:
         return self.allowed
-
-
-# Verification outcomes, internal to this module.
-_GRANT, _DENY, _UNRESOLVED, _CRASHED = "grant", "deny", "unresolved", "crashed"
 
 
 class AccessControlHost(Node):
@@ -145,14 +125,14 @@ class AccessControlHost(Node):
         self.caches: Dict[str, ACLCache] = {}
         # Negative cache: (app, user, right) -> local-clock expiry.
         self._deny_cache: Dict[Tuple[str, str, Right], float] = {}
-        self._pending_queries: Dict[int, Callable[[QueryResponse], None]] = {}
-        self._pending_lookups: Dict[int, Any] = {}
+        self._pending_queries = ReplyTable()
+        self._pending_lookups = ReplyTable()
         self._ns_cache: Dict[str, Tuple[Tuple[Address, ...], float]] = {}
-        self._query_ids = itertools.count(1)
-        self._lookup_ids = itertools.count(1)
         self._sequential_rounds = itertools.count()
         self._incarnation = 0
         self.rejected_manager_signatures = 0
+        self.pipeline = VerificationPipeline(self)
+        self.maintenance = CacheMaintenance()
         # counters for quick inspection (metrics use the tracer)
         self.stats = {
             "checks": 0,
@@ -190,65 +170,15 @@ class AccessControlHost(Node):
         if self.clock is None:
             self.clock = LocalClock(self.env)
         if self.default_policy.cache_cleanup_interval is not None:
-            self.spawn(self._cleanup_loop(), name=f"{self.address}/cache-cleanup")
+            self.spawn(
+                self.maintenance.cleanup_loop(self),
+                name=f"{self.address}/cache-cleanup",
+            )
         if self.default_policy.refresh_ahead_fraction is not None:
-            self.spawn(self._refresh_loop(), name=f"{self.address}/refresh-ahead")
-
-    def _cleanup_loop(self):
-        """Periodic sweep of expired cache entries (Section 3.2)."""
-        interval = self.default_policy.cache_cleanup_interval
-        while True:
-            yield self.env.timeout(interval)
-            if not self.up:
-                continue
-            now_local = self.clock.now()
-            for application, cache in self.caches.items():
-                cache.purge_expired(now_local)
-                idle_ttl = self.policy_for(application).idle_eviction_ttl
-                if idle_ttl is not None:
-                    cache.purge_idle(now_local, idle_ttl)
-            stale = [
-                key for key, limit in self._deny_cache.items()
-                if now_local >= limit
-            ]
-            for key in stale:
-                del self._deny_cache[key]
-
-    def _refresh_loop(self):
-        """Refresh-ahead: re-verify entries close to expiry.
-
-        An entry whose remaining local lifetime is below
-        ``refresh_ahead_fraction * te`` is re-verified in the
-        background so the next user access stays a cache hit.
-        """
-        policy = self.default_policy
-        interval = policy.refresh_check_interval
-        while True:
-            yield self.env.timeout(interval)
-            if not self.up:
-                continue
-            for application, cache in self.caches.items():
-                app_policy = self.policy_for(application)
-                fraction = app_policy.refresh_ahead_fraction
-                if fraction is None:
-                    continue
-                threshold = fraction * app_policy.te_local
-                now_local = self.clock.now()
-                for entry in cache.entries():
-                    remaining = entry.limit - now_local
-                    if 0 < remaining < threshold:
-                        self.stats["refreshes"] += 1
-                        self.spawn(
-                            self._refresh_entry(application, entry),
-                            name=f"{self.address}/refresh:{entry.user}",
-                        )
-
-    def _refresh_entry(self, application: str, entry: CacheEntry):
-        policy = self.policy_for(application)
-        yield from self._verify_with_managers(
-            application, entry.user, entry.right, policy, self._incarnation,
-            user_driven=False,
-        )
+            self.spawn(
+                self.maintenance.refresh_loop(self),
+                name=f"{self.address}/refresh-ahead",
+            )
 
     # -- message handling -----------------------------------------------------------
     def handle_message(self, src: Address, message: Any) -> None:
@@ -272,19 +202,15 @@ class AccessControlHost(Node):
             self.rejected_manager_signatures += 1
             return
         if isinstance(message, QueryResponse):
-            callback = self._pending_queries.pop(message.query_id, None)
-            if callback is not None:
-                callback(message)
-            # A response arriving after its timer is discarded, per the
-            # paper: "only accepting access control messages if they
-            # arrive before a timeout of a timer set at the time the
-            # query ... was sent."
+            # A response arriving after its timer was discarded by the
+            # ReplyTable, per the paper: "only accepting access control
+            # messages if they arrive before a timeout of a timer set
+            # at the time the query ... was sent."
+            self._pending_queries.dispatch(message.query_id, message)
         elif isinstance(message, RevokeNotify):
             self._handle_revoke(src, message)
         elif isinstance(message, NameResult):
-            event = self._pending_lookups.pop(message.lookup_id, None)
-            if event is not None and not event.triggered:
-                event.succeed(message)
+            self._pending_lookups.dispatch(message.lookup_id, message)
         else:
             self.handle_other_message(src, message)
 
@@ -327,108 +253,10 @@ class AccessControlHost(Node):
         """Process generator deciding one ``Invoke(A)``.
 
         Yields simulation events; the driving process's value is an
-        :class:`AccessDecision`.
+        :class:`AccessDecision`.  The work happens in this host's
+        :class:`~repro.protocols.VerificationPipeline`.
         """
-        policy = self.policy_for(application)
-        tracer = self.tracer
-        start_real = self.env.now
-        incarnation = self._incarnation
-        self.stats["checks"] += 1
-        tracer.publish(
-            TraceKind.ACCESS_REQUESTED,
-            self.address,
-            application=application,
-            user=user,
-            right=str(right),
-        )
-
-        def decide(allowed: bool, reason: str, attempts: int, responses: int
-                   ) -> AccessDecision:
-            decision = AccessDecision(
-                application=application,
-                user=user,
-                right=right,
-                allowed=allowed,
-                reason=reason,
-                attempts=attempts,
-                responses=responses,
-                latency=self.env.now - start_real,
-            )
-            if allowed:
-                if reason == DecisionReason.DEFAULT_ALLOW:
-                    self.stats["default_allowed"] += 1
-                    kind = TraceKind.ACCESS_DEFAULT_ALLOWED
-                else:
-                    kind = TraceKind.ACCESS_ALLOWED
-                self.stats["allowed"] += 1
-            else:
-                self.stats["denied"] += 1
-                kind = (
-                    TraceKind.ACCESS_UNRESOLVED
-                    if reason in (DecisionReason.EXHAUSTED, DecisionReason.HOST_CRASHED)
-                    else TraceKind.ACCESS_DENIED
-                )
-            tracer.publish(
-                kind,
-                self.address,
-                application=application,
-                user=user,
-                reason=reason,
-                attempts=attempts,
-                responses=responses,
-                latency=decision.latency,
-            )
-            return decision
-
-        # -- Figure 3 fast path: the cache ------------------------------------
-        cache = self.cache_for(application)
-        now_local = self.clock.now()
-        lookup = cache.lookup(user, right, now_local)
-        if lookup.hit:
-            tracer.publish(
-                TraceKind.CACHE_HIT,
-                self.address,
-                application=application,
-                user=user,
-                limit=lookup.entry.limit,
-                now_local=now_local,
-            )
-            return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
-        tracer.publish(
-            TraceKind.CACHE_EXPIRED if lookup.expired else TraceKind.CACHE_MISS,
-            self.address,
-            application=application,
-            user=user,
-        )
-
-        # -- negative-cache fast path (extension) --------------------------------
-        if policy.deny_cache_ttl is not None:
-            deny_limit = self._deny_cache.get((application, user, right))
-            if deny_limit is not None:
-                if self.clock.now() < deny_limit:
-                    self.stats["deny_cache_hits"] += 1
-                    return decide(
-                        False, DecisionReason.DENY_CACHED, attempts=0, responses=0
-                    )
-                del self._deny_cache[(application, user, right)]
-
-        # -- verification rounds ---------------------------------------------------
-        outcome, attempts, responses = yield from self._verify_with_managers(
-            application, user, right, policy, incarnation
-        )
-        if outcome == _GRANT:
-            return decide(True, DecisionReason.VERIFIED, attempts, responses)
-        if outcome == _DENY:
-            return decide(False, DecisionReason.DENIED, attempts, responses)
-        if outcome == _CRASHED:
-            return decide(False, DecisionReason.HOST_CRASHED, attempts, 0)
-        if outcome == "no_managers":
-            return decide(False, DecisionReason.NO_MANAGERS, attempts, 0)
-
-        # -- R attempts exhausted: Figure 4 or deny ------------------------------------
-        if policy.exhausted_action is ExhaustedAction.ALLOW:
-            return decide(True, DecisionReason.DEFAULT_ALLOW, attempts, 0)
-        return decide(False, DecisionReason.EXHAUSTED, attempts, 0)
+        return (yield from self.pipeline.check(application, user, right))
 
     def request_access(self, application: str, user: str, right: Right = Right.USE):
         """Convenience: run :meth:`check_access` as a process."""
@@ -437,7 +265,6 @@ class AccessControlHost(Node):
             name=f"{self.address}/check:{user}@{application}",
         )
 
-    # -- verification core ---------------------------------------------------------------
     def _verify_with_managers(
         self,
         application: str,
@@ -447,268 +274,15 @@ class AccessControlHost(Node):
         incarnation: int,
         user_driven: bool = True,
     ):
-        """Run verification rounds until decided or R is exhausted.
-
-        Returns ``(outcome, attempts, responses)`` where outcome is one
-        of grant / deny / unresolved / crashed / no_managers.  A grant
-        is cached (and a denial negative-cached, when enabled) as a
-        side effect.
-        """
-        managers = yield from self._get_managers(application, policy)
-        if not managers:
-            return ("no_managers", 0, 0)
-        required = min(policy.effective_check_quorum, len(managers))
-        attempts = 0
-        while policy.max_attempts is None or attempts < policy.max_attempts:
-            attempts += 1
-            send_local = self.clock.now()
-            responses = yield from self._query_round(
-                application, user, right, managers, required, policy, attempts
-            )
-            if self._incarnation != incarnation:
-                return (_CRASHED, attempts, 0)
-            best = self._combine(responses, required, policy)
-            if best is not None:
-                if best.verdict == Verdict.GRANT:
-                    limit = self._expiry_limit(send_local, best.te, policy)
-                    self.cache_for(application).store(
-                        CacheEntry(
-                            user=user, right=right, limit=limit, version=best.version
-                        ),
-                        now_local=self.clock.now() if user_driven else None,
-                    )
-                    self.tracer.publish(
-                        TraceKind.CACHE_STORED,
-                        self.address,
-                        application=application,
-                        user=user,
-                        right=str(right),
-                        limit=limit,
-                        send_local=send_local,
-                        now_local=self.clock.now(),
-                        te=best.te,
-                    )
-                    self._deny_cache.pop((application, user, right), None)
-                    return (_GRANT, attempts, len(responses))
-                if policy.deny_cache_ttl is not None:
-                    self._deny_cache[(application, user, right)] = (
-                        self.clock.now() + policy.deny_cache_ttl
-                    )
-                return (_DENY, attempts, len(responses))
-            self.tracer.publish(
-                TraceKind.QUERY_TIMEOUT,
-                self.address,
-                application=application,
-                user=user,
-                attempt=attempts,
-                responses=len(responses),
-            )
-            if policy.retry_backoff > 0 and (
-                policy.max_attempts is None or attempts < policy.max_attempts
-            ):
-                yield self.env.timeout(policy.retry_backoff)
-                if self._incarnation != incarnation:
-                    return (_CRASHED, attempts, 0)
-        return (_UNRESOLVED, attempts, 0)
-
-    def _combine(
-        self,
-        responses: List[QueryResponse],
-        required: int,
-        policy: AccessPolicy,
-    ) -> Optional[QueryResponse]:
-        """Pick the decisive response from a round, or None if the
-        round failed.
-
-        Crash-only mode: the response with the highest version wins —
-        the update-quorum intersection guarantees it reflects the
-        latest committed operation.
-
-        Byzantine mode (``f > 0``): a (verdict, version) pair needs at
-        least ``f + 1`` vouchers to be believed; among sufficiently
-        vouched pairs the highest version wins.  ``f`` liars can
-        therefore never produce a believed fabrication on their own.
-        """
-        if len(responses) < required:
-            return None
-        f = policy.byzantine_f
-        if f == 0:
-            return max(responses, key=lambda r: r.version)
-        support: Counter = Counter(
-            (r.verdict, r.version) for r in responses
-        )
-        believed = [
-            response
-            for response in responses
-            if support[(response.verdict, response.version)] >= f + 1
-        ]
-        if not believed:
-            return None  # treat as a failed round; retry
-        return max(believed, key=lambda r: r.version)
+        """Back-compat shim over the pipeline's verification core."""
+        return (yield from self.pipeline.verify(
+            application, user, right, policy, incarnation, user_driven
+        ))
 
     # -- expiry stamping (Figure 3 + delta) ------------------------------------------
     def _expiry_limit(self, send_local: float, te: float, policy: AccessPolicy) -> float:
-        """Compute the cached entry's limit: ``Time() + te - delta``.
-
-        ``send_local`` is the local clock when the deciding query round
-        started; the elapsed local time since then upper-bounds the
-        transmission delay delta.
-        """
-        now_local = self.clock.now()
-        elapsed = now_local - send_local
-        if policy.delta_mode is DeltaMode.HALF_ROUND_TRIP:
-            return now_local - elapsed / 2.0 + te
-        return send_local + te  # delta = full round trip, always safe
-
-    # -- query rounds ---------------------------------------------------------------
-    def _query_round(
-        self,
-        application: str,
-        user: str,
-        right: Right,
-        managers: Sequence[Address],
-        required: int,
-        policy: AccessPolicy,
-        attempt: int,
-    ):
-        """One verification round; returns the responses gathered.
-
-        A round tries to collect ``required`` distinct manager
-        responses using the policy's query strategy.  Late responses
-        (after the round's timers) are discarded by the pending-table
-        mechanism in :meth:`handle_message`.
-        """
-        if policy.query_strategy is QueryStrategy.PARALLEL:
-            return (yield from self._parallel_round(
-                application, user, right, managers, required, policy
-            ))
-        return (yield from self._sequential_round(
-            application, user, right, managers, required, policy, attempt
-        ))
-
-    def _parallel_round(self, application, user, right, managers, required, policy):
-        responses: List[QueryResponse] = []
-        done = self.env.event()
-        query_ids: List[int] = []
-
-        def on_response(response: QueryResponse) -> None:
-            responses.append(response)
-            self.tracer.publish(
-                TraceKind.QUERY_ANSWERED,
-                self.address,
-                application=application,
-                manager=response.manager,
-                verdict=response.verdict,
-            )
-            if len(responses) >= required and not done.triggered:
-                done.succeed()
-
-        for manager in managers:
-            qid = next(self._query_ids)
-            query_ids.append(qid)
-            self._pending_queries[qid] = on_response
-            self.send(
-                manager,
-                QueryRequest(
-                    query_id=qid, application=application, user=user, right=right
-                ),
-            )
-            self.tracer.publish(
-                TraceKind.QUERY_SENT,
-                self.address,
-                application=application,
-                manager=manager,
-                user=user,
-            )
-        timer = self.env.timeout(policy.query_timeout)
-        yield self.env.any_of([done, timer])
-        for qid in query_ids:  # discard late responses
-            self._pending_queries.pop(qid, None)
-        return responses
-
-    def _sequential_round(
-        self, application, user, right, managers, required, policy, attempt
-    ):
-        """Figure 2 style: "send query to a manager in Managers(A)" one
-        at a time.  The starting manager rotates across rounds (both
-        retries of one check and successive checks), spreading query
-        load over the manager set."""
-        responses: List[QueryResponse] = []
-        offset = next(self._sequential_rounds) % len(managers)
-        ordered = list(managers[offset:]) + list(managers[:offset])
-        for manager in ordered:
-            if len(responses) >= required:
-                break
-            qid = next(self._query_ids)
-            arrival = self.env.event()
-            self._pending_queries[qid] = (
-                lambda response, ev=arrival: ev.succeed(response)
-                if not ev.triggered
-                else None
-            )
-            self.send(
-                manager,
-                QueryRequest(
-                    query_id=qid, application=application, user=user, right=right
-                ),
-            )
-            self.tracer.publish(
-                TraceKind.QUERY_SENT,
-                self.address,
-                application=application,
-                manager=manager,
-                user=user,
-            )
-            timer = self.env.timeout(policy.query_timeout)
-            yield self.env.any_of([arrival, timer])
-            self._pending_queries.pop(qid, None)
-            if arrival.triggered and arrival.ok:
-                response = arrival.value
-                responses.append(response)
-                self.tracer.publish(
-                    TraceKind.QUERY_ANSWERED,
-                    self.address,
-                    application=application,
-                    manager=response.manager,
-                    verdict=response.verdict,
-                )
-        return responses
-
-    # -- manager-set resolution ------------------------------------------------------
-    def _get_managers(self, application: str, policy: AccessPolicy):
-        """Resolve ``Managers(A)``: static config, TTL cache, or the
-        trusted name service (Section 3.2, last paragraph)."""
-        static = self._static_managers.get(application)
-        if static:
-            return static
-        cached = self._ns_cache.get(application)
-        if cached is not None and self.clock.now() < cached[1]:
-            return cached[0]
-        if self.name_service is None:
-            return ()
-        attempts = 0
-        while policy.max_attempts is None or attempts < policy.max_attempts:
-            attempts += 1
-            lookup_id = next(self._lookup_ids)
-            arrival = self.env.event()
-            self._pending_lookups[lookup_id] = arrival
-            self.send(
-                self.name_service,
-                NameLookup(lookup_id=lookup_id, application=application),
-            )
-            timer = self.env.timeout(policy.query_timeout)
-            yield self.env.any_of([arrival, timer])
-            self._pending_lookups.pop(lookup_id, None)
-            if arrival.triggered and arrival.ok:
-                result: NameResult = arrival.value
-                managers = tuple(result.managers)
-                if managers:
-                    expiry = self.clock.now() + policy.name_service_ttl
-                    self._ns_cache[application] = (managers, expiry)
-                return managers
-            if policy.retry_backoff > 0:
-                yield self.env.timeout(policy.retry_backoff)
-        return ()
+        """Compute the cached entry's limit: ``Time() + te - delta``."""
+        return self.pipeline.stamper.limit(self.clock, send_local, te, policy)
 
     # -- plumbing -----------------------------------------------------------------------
     @property

@@ -3,34 +3,18 @@
 A manager (Section 2.2) "is an application level entity that issues
 commands to change access rights"; the access-control-management
 component on a manager host "stores the local copy of the current
-access control list".  This module implements both, plus everything
-Section 3.3 and 3.4 require:
+access control list".  This class is the thin :class:`~repro.sim.node.
+Node` shell — state, message dispatch, and the Section 2.3 entry
+points — while the protocol machinery lives in :mod:`repro.protocols`:
 
-* **Add/Revoke with update-quorum semantics** — an operation is applied
-  locally, then disseminated *persistently* ("repeatedly transmits the
-  update to every manager until it succeeds").  The operation's
-  blocking call returns once ``M - C + 1`` managers have applied it —
-  "the first point at which a guarantee can be made about an
-  operation" — and dissemination continues in the background until all
-  managers ack.
-
-* **Revocation forwarding** — each manager keeps a grant table of the
-  hosts it has granted cached rights to; on a revocation it forwards
-  ``Revoke(A, U)`` to those hosts, retrying until acked or until "the
-  access right would have expired based on the time mechanism"
-  (Section 3.4).
-
-* **The freeze strategy** (Section 3.3 alternative) — peers are pinged
-  continuously; if any peer has been unreachable for longer than
-  ``Ti``, "all access rights are frozen and no responses are sent to
-  application hosts until all managers are accessible again".
-
-* **Crash and recovery** (Section 3.4) — the ACL lives in stable
-  storage (the paper's managers "always provide correct information or
-  do not provide any information at all"); the grant table is volatile
-  and its loss is covered by cache expiry.  On recovery the manager
-  "retrieves current access control information from other managers
-  before responding to access right queries".
+* update dissemination and the quorum vs freeze alternatives of
+  Section 3.3 — :mod:`repro.protocols.dissemination`;
+* revocation forwarding to caching hosts (Sections 3.1 and 3.4) —
+  :mod:`repro.protocols.revocation`;
+* crash recovery, stable-store reload, and peer resync (Section 3.4)
+  — :mod:`repro.protocols.recovery`;
+* delegated administration (the *manage* right) —
+  :mod:`repro.protocols.admin`.
 """
 
 from __future__ import annotations
@@ -40,44 +24,31 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Set, Tuple
 
 from ..auth.identity import Authenticator, Principal, SignedMessage
+from ..protocols.admin import AdminService
+from ..protocols.dissemination import PendingUpdate, dissemination_strategy_for
+from ..protocols.query import QueryAnswerer
+from ..protocols.recovery import RecoverySync
+from ..protocols.revocation import RevocationForwarder
 from ..sim.engine import Event
 from ..sim.node import Address, Node
 from ..sim.storage import StableStore
-from ..sim.trace import TraceKind
 from .acl import AccessControlList
 from .messages import (
     AclUpdate,
     AdminRequest,
-    AdminResponse,
     Ping,
     Pong,
     QueryRequest,
-    QueryResponse,
-    RevokeNotify,
     RevokeNotifyAck,
     SyncRequest,
     SyncResponse,
     UpdateAck,
     UpdateMsg,
-    Verdict,
 )
 from .policy import AccessPolicy
-from .rights import AclEntry, Right, Version, hlc_counter
+from .rights import AclEntry, Right
 
 __all__ = ["AccessControlManager", "UpdateHandle"]
-
-
-@dataclass
-class _PendingUpdate:
-    """Book-keeping for one in-flight update's dissemination."""
-
-    update: AclUpdate
-    unacked: Set[Address]
-    quorum_needed: int
-    acks: int  # managers known to have applied (self included)
-    quorum_event: Event
-    done_event: Event
-    issued_at: float
 
 
 @dataclass(frozen=True)
@@ -126,12 +97,16 @@ class AccessControlManager(Node):
         self._grant_table: Dict[
             str, Dict[Tuple[str, Right], Dict[Address, float]]
         ] = {}
-        self._pending_updates: Dict[str, _PendingUpdate] = {}
+        self._pending_updates: Dict[str, PendingUpdate] = {}
         self._pending_notifies: Dict[int, Event] = {}
         self._synced_peers: Set[Address] = set()
         self._last_heard: Dict[Address, float] = {}
         self._frozen_apps: Set[str] = set()  # for trace edges only
         self.recovering = False
+        self.revocation = RevocationForwarder()
+        self.recovery = RecoverySync()
+        self.admin = AdminService()
+        self.answerer = QueryAnswerer()
         self.stats = {"queries": 0, "grants": 0, "denials": 0, "silent": 0}
 
     # -- configuration --------------------------------------------------------
@@ -194,17 +169,11 @@ class AccessControlManager(Node):
         peers = {p for ps in self._peers.values() for p in ps}
         for peer in peers:
             self._last_heard.setdefault(peer, now)
-        for application, policy in self._freeze_apps_with_policy():
-            self.spawn(
-                self._freeze_monitor(application, policy),
-                name=f"{self.address}/freeze:{application}",
-            )
-
-    def _freeze_apps_with_policy(self):
         for application in self._peers:
             policy = self.policy_for(application)
-            if policy.use_freeze and self._peers[application]:
-                yield application, policy
+            strategy = dissemination_strategy_for(policy)
+            for name, process in strategy.monitors(self, application, policy):
+                self.spawn(process, name=name)
 
     # -- the operations of Section 2.3 -----------------------------------------------
     def add(self, application: str, user: str, right: Right = Right.USE) -> UpdateHandle:
@@ -220,213 +189,18 @@ class AccessControlManager(Node):
     def _issue(
         self, application: str, user: str, right: Right, grant: bool
     ) -> UpdateHandle:
-        if application not in self.acls:
-            raise KeyError(f"{self.address!r} does not manage {application!r}")
-        if not self.up:
-            raise RuntimeError(f"manager {self.address!r} is down")
-        policy = self.policy_for(application)
-        peers = self._peers[application]
-        m = len(peers) + 1
-        quorum_needed = policy.update_quorum(m) if not policy.use_freeze else m
-        # Advance past whatever this manager already stores for the key
-        # AND past physical time (hybrid logical clock): a later
-        # operation must win the version race even when this manager
-        # has not yet received earlier committed updates.
-        current = self.acl(application).version_of(user, right)
-        self._counter = max(self._counter, current.counter)
-        self._counter = hlc_counter(self.env.now, self._counter)
-        update = AclUpdate(
-            update_id=f"{self.address}:{next(self._update_ids)}",
-            application=application,
-            user=user,
-            right=right,
-            grant=grant,
-            version=Version(self._counter, self.address),
-            origin=self.address,
-        )
-        self._apply_entry(application, update.entry())
-        self.tracer.publish(
-            TraceKind.UPDATE_ISSUED,
-            self.address,
-            application=application,
-            user=user,
-            right=str(right),
-            grant=grant,
-            update_id=update.update_id,
-            version=(update.version.counter, update.version.origin),
-        )
-        quorum_event = self.env.event()
-        done_event = self.env.event()
-        pending = _PendingUpdate(
-            update=update,
-            unacked=set(peers),
-            quorum_needed=quorum_needed,
-            acks=1,  # self
-            quorum_event=quorum_event,
-            done_event=done_event,
-            issued_at=self.env.now,
-        )
-        self._pending_updates[update.update_id] = pending
-        if not grant:
-            self._forward_revocation(update)
-        self._check_update_progress(pending)
-        if pending.unacked:
-            self.spawn(
-                self._disseminate(pending, policy),
-                name=f"{self.address}/update:{update.update_id}",
-            )
-        return UpdateHandle(update=update, quorum=quorum_event, complete=done_event)
-
-    def _disseminate(self, pending: _PendingUpdate, policy: AccessPolicy):
-        """Persistent dissemination: retry unacked peers forever."""
-        message = UpdateMsg(update=pending.update)
-        while pending.unacked:
-            if self.up:
-                self.multicast(sorted(pending.unacked), message)
-            yield self.env.timeout(policy.update_retry_interval)
-
-    def _check_update_progress(self, pending: _PendingUpdate) -> None:
-        if pending.acks >= pending.quorum_needed and not pending.quorum_event.triggered:
-            pending.quorum_event.succeed(self.env.now - pending.issued_at)
-            self.tracer.publish(
-                TraceKind.UPDATE_QUORUM_REACHED,
-                self.address,
-                update_id=pending.update.update_id,
-                application=pending.update.application,
-                elapsed=self.env.now - pending.issued_at,
-                acks=pending.acks,
-                grant=pending.update.grant,
-            )
-        if not pending.unacked and not pending.done_event.triggered:
-            pending.done_event.succeed(self.env.now - pending.issued_at)
-            self.tracer.publish(
-                TraceKind.UPDATE_FULLY_PROPAGATED,
-                self.address,
-                update_id=pending.update.update_id,
-                application=pending.update.application,
-                elapsed=self.env.now - pending.issued_at,
-            )
-            self._pending_updates.pop(pending.update.update_id, None)
-
-    # -- revocation forwarding ----------------------------------------------------------
-    def _forward_revocation(self, update: AclUpdate) -> None:
-        """Flush caches on every host this manager granted to.
-
-        "If the operation is a revocation, the manager forwards it to
-        all hosts to which it has granted access permission for U"
-        (Section 3.1).
-        """
-        table = self._grant_table.get(update.application, {})
-        holders = table.pop((update.user, update.right), {})
-        for host, deadline in holders.items():
-            if self.env.now >= deadline:
-                continue  # the cached right has already expired
-            self.spawn(
-                self._notify_host(host, update, deadline),
-                name=f"{self.address}/revoke-notify:{host}",
-            )
-
-    def _notify_host(self, host: Address, update: AclUpdate, deadline: float):
-        policy = self.policy_for(update.application)
-        notify_id = next(self._notify_ids)
-        acked = self.env.event()
-        self._pending_notifies[notify_id] = acked
-        message = RevokeNotify(
-            application=update.application,
-            user=update.user,
-            right=update.right,
-            version=update.version,
-            notify_id=notify_id,
-        )
-        try:
-            while self.env.now < deadline and not acked.triggered:
-                if self.up:
-                    self.send(host, message)
-                    self.tracer.publish(
-                        TraceKind.REVOKE_FORWARDED,
-                        self.address,
-                        host=host,
-                        application=update.application,
-                        user=update.user,
-                    )
-                timer = self.env.timeout(policy.revoke_retry_interval)
-                yield self.env.any_of([acked, timer])
-        finally:
-            self._pending_notifies.pop(notify_id, None)
+        strategy = dissemination_strategy_for(self.policy_for(application))
+        return strategy.issue(self, application, user, right, grant)
 
     # -- query answering ---------------------------------------------------------------
     def _answer_query(self, src: Address, request: QueryRequest) -> None:
-        self.stats["queries"] += 1
-        application = request.application
-        if application not in self.acls:
-            return  # not a manager for this app; stay silent
-        policy = self.policy_for(application)
-        if self.recovering or self._is_frozen(application, policy):
-            self.stats["silent"] += 1
-            return  # "no responses are sent to application hosts"
-        acl = self.acl(application)
-        entry = acl.entry(request.user, request.right)
-        if entry is not None and entry.granted:
-            self.stats["grants"] += 1
-            deadline = self.env.now + policy.expiry_bound
-            holders = self._grant_table[application].setdefault(
-                (request.user, request.right), {}
-            )
-            holders[src] = max(holders.get(src, 0.0), deadline)
-            verdict, version = Verdict.GRANT, entry.version
-        else:
-            self.stats["denials"] += 1
-            verdict = Verdict.DENY
-            version = entry.version if entry is not None else acl.version_of(
-                request.user, request.right
-            )
-        response = QueryResponse(
-            query_id=request.query_id,
-            application=application,
-            user=request.user,
-            right=request.right,
-            verdict=verdict,
-            te=policy.te_local,
-            version=version,
-            manager=self.address,
-        )
-        if self.principal is not None:
-            self.send(src, self.principal.sign(response))
-        else:
-            self.send(src, response)
+        self.answerer.answer(self, src, request)
 
-    # -- freeze strategy -----------------------------------------------------------------
     def _is_frozen(self, application: str, policy: AccessPolicy) -> bool:
         """Has any peer been unreachable for longer than ``Ti``?"""
-        if not policy.use_freeze:
-            return False
-        peers = self._peers.get(application, ())
-        now = self.env.now
-        return any(
-            now - self._last_heard.get(peer, 0.0) > policy.inaccessibility_period
-            for peer in peers
+        return dissemination_strategy_for(policy).is_frozen(
+            self, application, policy
         )
-
-    def _freeze_monitor(self, application: str, policy: AccessPolicy):
-        """Ping peers and publish freeze/unfreeze transitions."""
-        nonce = itertools.count(1)
-        while True:
-            if self.up:
-                for peer in self._peers[application]:
-                    self.send(peer, Ping(nonce=next(nonce), sender=self.address))
-                frozen = self._is_frozen(application, policy)
-                was_frozen = application in self._frozen_apps
-                if frozen and not was_frozen:
-                    self._frozen_apps.add(application)
-                    self.tracer.publish(
-                        TraceKind.MANAGER_FROZEN, self.address, application=application
-                    )
-                elif not frozen and was_frozen:
-                    self._frozen_apps.discard(application)
-                    self.tracer.publish(
-                        TraceKind.MANAGER_UNFROZEN, self.address, application=application
-                    )
-            yield self.env.timeout(policy.ping_interval)
 
     # -- message handling ----------------------------------------------------------------
     def handle_message(self, src: Address, message: Any) -> None:
@@ -438,17 +212,17 @@ class AccessControlManager(Node):
                 or message.signature.signer != message.payload.admin
             ):
                 self.admin_requests_rejected += 1
-                self._reject_admin(src, message.payload, "authentication failed")
+                self.admin.reject(self, src, message.payload, "authentication failed")
             else:
-                self._handle_admin_request(src, message.payload)
+                self.admin.handle_request(self, src, message.payload)
             return
         if isinstance(message, AdminRequest):
             if self.admin_authenticator is not None:
                 # Signatures required but the request arrived bare.
                 self.admin_requests_rejected += 1
-                self._reject_admin(src, message, "unsigned request")
+                self.admin.reject(self, src, message, "unsigned request")
                 return
-            self._handle_admin_request(src, message)
+            self.admin.handle_request(self, src, message)
         elif isinstance(message, QueryRequest):
             self._answer_query(src, message)
         elif isinstance(message, UpdateMsg):
@@ -460,9 +234,9 @@ class AccessControlManager(Node):
             if event is not None and not event.triggered:
                 event.succeed()
         elif isinstance(message, SyncRequest):
-            self._handle_sync_request(src, message)
+            self.recovery.handle_sync_request(self, src, message)
         elif isinstance(message, SyncResponse):
-            self._handle_sync_response(message)
+            self.recovery.handle_sync_response(self, message)
         elif isinstance(message, Ping):
             self._last_heard[src] = self.env.now
             self.send(src, Pong(nonce=message.nonce, sender=self.address))
@@ -484,68 +258,14 @@ class AccessControlManager(Node):
             # "if the operation is a revocation, the manager forwards it
             # to all hosts to which it has granted access" — each
             # manager covers the hosts in its *own* grant table.
-            self._forward_revocation(update)
+            self.revocation.forward(self, update)
 
     def _handle_update_ack(self, message: UpdateAck) -> None:
         pending = self._pending_updates.get(message.update_id)
         if pending is None:
             return
-        if message.acker in pending.unacked:
-            pending.unacked.discard(message.acker)
-            pending.acks += 1
-            self._check_update_progress(pending)
-
-    # -- delegated administration (Section 2.1's manage right) --------------------------------
-    def _handle_admin_request(self, src: Address, request: AdminRequest) -> None:
-        """A manager-user exercises the *manage* right remotely.
-
-        The issuer must hold ``Right.MANAGE`` on the application in
-        this manager's ACL; when an admin authenticator is configured,
-        the request must additionally have carried a valid signature
-        (checked in :meth:`handle_message`).  The positive response is
-        deferred to the update-quorum point, preserving the paper's
-        blocking semantics.
-        """
-        if self.admin_authenticator is not None and not isinstance(
-            request, AdminRequest
-        ):  # pragma: no cover - defensive
-            return
-        if request.application not in self.acls:
-            self._reject_admin(src, request, "unknown application")
-            return
-        if self.recovering:
-            self._reject_admin(src, request, "manager recovering")
-            return
-        if not self.acl(request.application).check(request.admin, Right.MANAGE):
-            self.admin_requests_rejected += 1
-            self._reject_admin(src, request, "manage right required")
-            return
-        handle = self._issue(
-            request.application, request.subject, request.right, request.grant
-        )
-        self.spawn(
-            self._confirm_admin(src, request, handle),
-            name=f"{self.address}/admin:{request.request_id}",
-        )
-
-    def _confirm_admin(self, src: Address, request: AdminRequest, handle):
-        yield handle.quorum
-        self.send(
-            src,
-            AdminResponse(
-                request_id=request.request_id,
-                accepted=True,
-                update_id=handle.update.update_id,
-            ),
-        )
-
-    def _reject_admin(self, src: Address, request: AdminRequest, reason: str) -> None:
-        self.send(
-            src,
-            AdminResponse(
-                request_id=request.request_id, accepted=False, reason=reason
-            ),
-        )
+        policy = self.policy_for(pending.update.application)
+        dissemination_strategy_for(policy).on_ack(self, pending, message.acker)
 
     # -- recovery (Section 3.4) -------------------------------------------------------------
     def on_crash(self) -> None:
@@ -563,7 +283,7 @@ class AccessControlManager(Node):
         """Reload from stable storage, then resync from peers before
         answering queries again."""
         if self.store is not None:
-            self._reload_from_store()
+            self.recovery.reload_from_store(self)
         peers = sorted({p for ps in self._peers.values() for p in ps})
         now = self.env.now
         for peer in peers:
@@ -572,45 +292,7 @@ class AccessControlManager(Node):
             return
         self.recovering = True
         self._synced_peers.clear()
-        self.spawn(self._resync(peers), name=f"{self.address}/resync")
-
-    def _reload_from_store(self) -> None:
-        assert self.store is not None
-        for key in self.store.keys("acl:"):
-            entry = self.store.read(key)
-            application = key.split(":", 2)[1]
-            if application in self.acls:
-                self.acls[application].apply(entry)
-        self._counter = max(self._counter, self.store.read("counter", 0))
-
-    def _resync(self, peers: List[Address]):
-        policy = self.default_policy
-        apps = tuple(self.applications())
-        while self.up and self.recovering and not self._synced_peers:
-            request = SyncRequest(requester=self.address, applications=apps)
-            self.multicast(peers, request)
-            yield self.env.timeout(policy.query_timeout)
-        if self._synced_peers and self.up:
-            self.recovering = False
-            self.tracer.publish(
-                TraceKind.MANAGER_RESYNCED, self.address, peers=len(self._synced_peers)
-            )
-
-    def _handle_sync_request(self, src: Address, message: SyncRequest) -> None:
-        snapshots = tuple(
-            (app, tuple(self.acls[app].snapshot()))
-            for app in message.applications
-            if app in self.acls
-        )
-        self.send(src, SyncResponse(responder=self.address, snapshots=snapshots))
-
-    def _handle_sync_response(self, message: SyncResponse) -> None:
-        for application, entries in message.snapshots:
-            if application in self.acls:
-                for entry in entries:
-                    self._apply_entry(application, entry)
-                    self._counter = max(self._counter, entry.version.counter)
-        self._synced_peers.add(message.responder)
+        self.spawn(self.recovery.resync(self, peers), name=f"{self.address}/resync")
 
     # -- plumbing ------------------------------------------------------------------------------
     @property

@@ -239,6 +239,13 @@ class AccessPolicy:
         """Responses a host must collect: C, or 1 under the freeze strategy."""
         return 1 if self.use_freeze else self.check_quorum
 
+    def required_responses(self, n_managers: int) -> int:
+        """Responses a verification round must gather against a manager
+        set of ``n_managers``: the effective check quorum, clamped so a
+        smaller-than-C manager set (e.g. from a stale name-service
+        answer) can still complete a round instead of stalling forever."""
+        return min(self.effective_check_quorum, n_managers)
+
     # -- presets ---------------------------------------------------------------
     @classmethod
     def security_first(cls, n_managers: int, expiry_bound: float = 300.0,

@@ -1,0 +1,70 @@
+"""Delegated administration: the *manage* right exercised remotely.
+
+Section 2.1 lists *manage* among the rights an ACL can hold.  A
+manager-user holding it may issue Add/Revoke through any manager; the
+positive response is deferred to the update-quorum point, preserving
+the paper's blocking semantics.  Authentication of the request (when an
+admin authenticator is configured) happens in the manager's message
+dispatch before this service is invoked.
+"""
+
+from __future__ import annotations
+
+from ..core.messages import AdminRequest, AdminResponse
+from ..core.rights import Right
+from ..sim.node import Address
+
+__all__ = ["AdminService"]
+
+
+class AdminService:
+    """Validates and executes remote Add/Revoke requests."""
+
+    def handle_request(self, manager, src: Address, request: AdminRequest) -> None:
+        """A manager-user exercises the *manage* right remotely.
+
+        The issuer must hold ``Right.MANAGE`` on the application in
+        this manager's ACL; when an admin authenticator is configured,
+        the request must additionally have carried a valid signature
+        (checked before dispatch).  The positive response is deferred
+        to the update-quorum point, preserving the paper's blocking
+        semantics.
+        """
+        if request.application not in manager.acls:
+            self.reject(manager, src, request, "unknown application")
+            return
+        if manager.recovering:
+            self.reject(manager, src, request, "manager recovering")
+            return
+        if not manager.acl(request.application).check(request.admin, Right.MANAGE):
+            manager.admin_requests_rejected += 1
+            self.reject(manager, src, request, "manage right required")
+            return
+        handle = manager._issue(
+            request.application, request.subject, request.right, request.grant
+        )
+        manager.spawn(
+            self.confirm(manager, src, request, handle),
+            name=f"{manager.address}/admin:{request.request_id}",
+        )
+
+    def confirm(self, manager, src: Address, request: AdminRequest, handle):
+        yield handle.quorum
+        manager.send(
+            src,
+            AdminResponse(
+                request_id=request.request_id,
+                accepted=True,
+                update_id=handle.update.update_id,
+            ),
+        )
+
+    def reject(
+        self, manager, src: Address, request: AdminRequest, reason: str
+    ) -> None:
+        manager.send(
+            src,
+            AdminResponse(
+                request_id=request.request_id, accepted=False, reason=reason
+            ),
+        )

@@ -1,0 +1,74 @@
+"""Background cache upkeep on a host: expiry sweep and refresh-ahead.
+
+Section 3.2's caches shed expired entries lazily on lookup; the
+periodic sweep here additionally reclaims entries nobody looks up
+(and idle entries, when ``idle_eviction_ttl`` is set).  Refresh-ahead
+is an extension: entries close to expiry are re-verified in the
+background so the next user access stays a cache hit.
+"""
+
+from __future__ import annotations
+
+from ..core.cache import CacheEntry
+
+__all__ = ["CacheMaintenance"]
+
+
+class CacheMaintenance:
+    """The host's background cache loops (spawned from ``attach``)."""
+
+    def cleanup_loop(self, host):
+        """Periodic sweep of expired cache entries (Section 3.2)."""
+        interval = host.default_policy.cache_cleanup_interval
+        while True:
+            yield host.env.timeout(interval)
+            if not host.up:
+                continue
+            now_local = host.clock.now()
+            for application, cache in host.caches.items():
+                cache.purge_expired(now_local)
+                idle_ttl = host.policy_for(application).idle_eviction_ttl
+                if idle_ttl is not None:
+                    cache.purge_idle(now_local, idle_ttl)
+            stale = [
+                key for key, limit in host._deny_cache.items()
+                if now_local >= limit
+            ]
+            for key in stale:
+                del host._deny_cache[key]
+
+    def refresh_loop(self, host):
+        """Refresh-ahead: re-verify entries close to expiry.
+
+        An entry whose remaining local lifetime is below
+        ``refresh_ahead_fraction * te`` is re-verified in the
+        background so the next user access stays a cache hit.
+        """
+        policy = host.default_policy
+        interval = policy.refresh_check_interval
+        while True:
+            yield host.env.timeout(interval)
+            if not host.up:
+                continue
+            for application, cache in host.caches.items():
+                app_policy = host.policy_for(application)
+                fraction = app_policy.refresh_ahead_fraction
+                if fraction is None:
+                    continue
+                threshold = fraction * app_policy.te_local
+                now_local = host.clock.now()
+                for entry in cache.entries():
+                    remaining = entry.limit - now_local
+                    if 0 < remaining < threshold:
+                        host.stats["refreshes"] += 1
+                        host.spawn(
+                            self.refresh_entry(host, application, entry),
+                            name=f"{host.address}/refresh:{entry.user}",
+                        )
+
+    def refresh_entry(self, host, application: str, entry: CacheEntry):
+        policy = host.policy_for(application)
+        yield from host.pipeline.verify(
+            application, entry.user, entry.right, policy, host._incarnation,
+            user_driven=False,
+        )

@@ -1,0 +1,233 @@
+"""The host-side verification pipeline (Figures 2, 3, and 4).
+
+One :class:`VerificationPipeline` per host wires the strategy layers
+together:
+
+1. **cache lookup** — the Figure 3 fast path (plus the negative-cache
+   extension);
+2. **manager resolution** — :class:`~repro.protocols.resolver.
+   ManagerResolver`;
+3. **query rounds** — a :class:`~repro.protocols.planner.QueryPlanner`
+   gathers responses, a :class:`~repro.protocols.combiner.
+   ResponseCombiner` judges them, repeated up to ``R`` attempts;
+4. **decision** — :class:`~repro.protocols.decision.DecisionPolicy`
+   maps the outcome (verified / denied / Figure 4 default-allow /
+   exhausted) to the final :class:`AccessDecision`, and
+   :class:`~repro.protocols.decision.ExpiryStamper` stamps cached
+   grants with ``Time() + te - delta``.
+
+Strategies are selected per call from the application's
+:class:`AccessPolicy` through the ``planner_factory`` /
+``combiner_factory`` hooks; replacing a factory composes a new protocol
+variant (e.g. weighted voting) without touching the host class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.cache import CacheEntry
+from ..core.messages import Verdict
+from ..core.policy import AccessPolicy
+from ..core.rights import Right
+from ..sim.trace import TraceKind
+from .combiner import ResponseCombiner, combiner_for
+from .decision import DecisionPolicy, ExpiryStamper
+from .planner import QueryPlanner, planner_for
+from .resolver import ManagerResolver
+
+__all__ = [
+    "VerificationPipeline",
+    "GRANT",
+    "DENY",
+    "UNRESOLVED",
+    "CRASHED",
+    "NO_MANAGERS",
+]
+
+# Verification outcomes, shared between pipeline and host.
+GRANT, DENY, UNRESOLVED, CRASHED = "grant", "deny", "unresolved", "crashed"
+NO_MANAGERS = "no_managers"
+
+
+class VerificationPipeline:
+    """Cache -> planner -> combiner -> decision, for one host."""
+
+    def __init__(
+        self,
+        host,
+        planner_factory: Callable[[AccessPolicy], QueryPlanner] = planner_for,
+        combiner_factory: Callable[[AccessPolicy], ResponseCombiner] = combiner_for,
+        resolver: ManagerResolver = None,
+        decision_policy: DecisionPolicy = None,
+        stamper: ExpiryStamper = None,
+    ):
+        self.host = host
+        self.planner_factory = planner_factory
+        self.combiner_factory = combiner_factory
+        self.resolver = resolver or ManagerResolver()
+        self.decision_policy = decision_policy or DecisionPolicy()
+        self.stamper = stamper or ExpiryStamper()
+
+    # -- the access check (Figures 2/3/4) ----------------------------------
+    def check(self, application: str, user: str, right: Right):
+        """Process generator deciding one ``Invoke(A)``.
+
+        Returns an :class:`~repro.core.host.AccessDecision`.
+        """
+        from ..core.host import AccessDecision, DecisionReason
+
+        host = self.host
+        policy = host.policy_for(application)
+        tracer = host.tracer
+        start_real = host.env.now
+        incarnation = host._incarnation
+        host.stats["checks"] += 1
+        tracer.publish(
+            TraceKind.ACCESS_REQUESTED,
+            host.address,
+            application=application,
+            user=user,
+            right=str(right),
+        )
+
+        def decide(allowed: bool, reason: str, attempts: int, responses: int
+                   ) -> AccessDecision:
+            decision = AccessDecision(
+                application=application,
+                user=user,
+                right=right,
+                allowed=allowed,
+                reason=reason,
+                attempts=attempts,
+                responses=responses,
+                latency=host.env.now - start_real,
+            )
+            self.decision_policy.record(host, decision)
+            return decision
+
+        # -- Figure 3 fast path: the cache ---------------------------------
+        cache = host.cache_for(application)
+        now_local = host.clock.now()
+        lookup = cache.lookup(user, right, now_local)
+        if lookup.hit:
+            tracer.publish(
+                TraceKind.CACHE_HIT,
+                host.address,
+                application=application,
+                user=user,
+                limit=lookup.entry.limit,
+                now_local=now_local,
+            )
+            return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
+        tracer.publish(
+            TraceKind.CACHE_EXPIRED if lookup.expired else TraceKind.CACHE_MISS,
+            host.address,
+            application=application,
+            user=user,
+        )
+
+        # -- negative-cache fast path (extension) --------------------------
+        if policy.deny_cache_ttl is not None:
+            deny_limit = host._deny_cache.get((application, user, right))
+            if deny_limit is not None:
+                if host.clock.now() < deny_limit:
+                    host.stats["deny_cache_hits"] += 1
+                    return decide(
+                        False, DecisionReason.DENY_CACHED, attempts=0, responses=0
+                    )
+                del host._deny_cache[(application, user, right)]
+
+        # -- verification rounds -------------------------------------------
+        outcome, attempts, responses = yield from self.verify(
+            application, user, right, policy, incarnation
+        )
+        if outcome == GRANT:
+            return decide(True, DecisionReason.VERIFIED, attempts, responses)
+        if outcome == DENY:
+            return decide(False, DecisionReason.DENIED, attempts, responses)
+        if outcome == CRASHED:
+            return decide(False, DecisionReason.HOST_CRASHED, attempts, 0)
+        if outcome == NO_MANAGERS:
+            return decide(False, DecisionReason.NO_MANAGERS, attempts, 0)
+
+        # -- R attempts exhausted: Figure 4 or deny ------------------------
+        if self.decision_policy.allow_on_exhaustion(policy):
+            return decide(True, DecisionReason.DEFAULT_ALLOW, attempts, 0)
+        return decide(False, DecisionReason.EXHAUSTED, attempts, 0)
+
+    # -- verification core --------------------------------------------------
+    def verify(
+        self,
+        application: str,
+        user: str,
+        right: Right,
+        policy: AccessPolicy,
+        incarnation: int,
+        user_driven: bool = True,
+    ):
+        """Run verification rounds until decided or R is exhausted.
+
+        Returns ``(outcome, attempts, responses)``.  A grant is cached
+        (and a denial negative-cached, when enabled) as a side effect.
+        """
+        host = self.host
+        managers = yield from self.resolver.resolve(host, application, policy)
+        if not managers:
+            return (NO_MANAGERS, 0, 0)
+        required = policy.required_responses(len(managers))
+        planner = self.planner_factory(policy)
+        combiner = self.combiner_factory(policy)
+        attempts = 0
+        while policy.max_attempts is None or attempts < policy.max_attempts:
+            attempts += 1
+            send_local = host.clock.now()
+            responses = yield from planner.run_round(
+                host, application, user, right, managers, required, policy,
+                attempts, combiner,
+            )
+            if host._incarnation != incarnation:
+                return (CRASHED, attempts, 0)
+            best = combiner.combine(responses, required)
+            if best is not None:
+                if best.verdict == Verdict.GRANT:
+                    limit = host._expiry_limit(send_local, best.te, policy)
+                    host.cache_for(application).store(
+                        CacheEntry(
+                            user=user, right=right, limit=limit, version=best.version
+                        ),
+                        now_local=host.clock.now() if user_driven else None,
+                    )
+                    host.tracer.publish(
+                        TraceKind.CACHE_STORED,
+                        host.address,
+                        application=application,
+                        user=user,
+                        right=str(right),
+                        limit=limit,
+                        send_local=send_local,
+                        now_local=host.clock.now(),
+                        te=best.te,
+                    )
+                    host._deny_cache.pop((application, user, right), None)
+                    return (GRANT, attempts, len(responses))
+                if policy.deny_cache_ttl is not None:
+                    host._deny_cache[(application, user, right)] = (
+                        host.clock.now() + policy.deny_cache_ttl
+                    )
+                return (DENY, attempts, len(responses))
+            host.tracer.publish(
+                TraceKind.QUERY_TIMEOUT,
+                host.address,
+                application=application,
+                user=user,
+                attempt=attempts,
+                responses=len(responses),
+            )
+            if policy.retry_backoff > 0 and (
+                policy.max_attempts is None or attempts < policy.max_attempts
+            ):
+                yield host.env.timeout(policy.retry_backoff)
+                if host._incarnation != incarnation:
+                    return (CRASHED, attempts, 0)
+        return (UNRESOLVED, attempts, 0)

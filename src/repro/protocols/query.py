@@ -1,0 +1,61 @@
+"""Answering ``Query(A, U, R)`` at a manager (Figure 2, right side).
+
+A truthful manager answers from its local ACL copy, records the grant
+in the grant table with a ``Te``-bounded deadline (so a later
+revocation knows which hosts to chase), and stays *silent* — "no
+responses are sent to application hosts" — while recovering or while
+the freeze strategy has frozen the application.  Responses are signed
+when the manager has a principal, so Byzantine-mode hosts can
+authenticate them (footnote 2).
+"""
+
+from __future__ import annotations
+
+from ..core.messages import QueryRequest, QueryResponse, Verdict
+from ..sim.node import Address
+
+__all__ = ["QueryAnswerer"]
+
+
+class QueryAnswerer:
+    """The truthful query-answering strategy."""
+
+    def answer(self, manager, src: Address, request: QueryRequest) -> None:
+        manager.stats["queries"] += 1
+        application = request.application
+        if application not in manager.acls:
+            return  # not a manager for this app; stay silent
+        policy = manager.policy_for(application)
+        if manager.recovering or manager._is_frozen(application, policy):
+            manager.stats["silent"] += 1
+            return  # "no responses are sent to application hosts"
+        acl = manager.acl(application)
+        entry = acl.entry(request.user, request.right)
+        if entry is not None and entry.granted:
+            manager.stats["grants"] += 1
+            deadline = manager.env.now + policy.expiry_bound
+            holders = manager._grant_table[application].setdefault(
+                (request.user, request.right), {}
+            )
+            holders[src] = max(holders.get(src, 0.0), deadline)
+            verdict, version = Verdict.GRANT, entry.version
+        else:
+            manager.stats["denials"] += 1
+            verdict = Verdict.DENY
+            version = entry.version if entry is not None else acl.version_of(
+                request.user, request.right
+            )
+        response = QueryResponse(
+            query_id=request.query_id,
+            application=application,
+            user=request.user,
+            right=request.right,
+            verdict=verdict,
+            te=policy.te_local,
+            version=version,
+            manager=manager.address,
+        )
+        if manager.principal is not None:
+            manager.send(src, manager.principal.sign(response))
+        else:
+            manager.send(src, response)

@@ -1,0 +1,57 @@
+"""``Managers(A)`` resolution: static config, TTL cache, name service.
+
+Section 3.2, last paragraph: hosts resolve the manager set for an
+application through a trusted name service and may cache the answer for
+a policy-bounded TTL.  Statically configured manager sets short-circuit
+the lookup entirely (the experiments' usual mode).
+"""
+
+from __future__ import annotations
+
+from ..core.messages import NameLookup
+from ..core.policy import AccessPolicy
+from .messaging import request
+
+__all__ = ["ManagerResolver"]
+
+
+class ManagerResolver:
+    """Resolves ``Managers(A)`` for a host.
+
+    State (the static map, the TTL cache, the pending-lookup table)
+    lives on the host so crash semantics stay in
+    :meth:`AccessControlHost.on_crash`; this object is pure strategy.
+    """
+
+    def resolve(self, host, application: str, policy: AccessPolicy):
+        """Process generator returning the manager address tuple
+        (empty when resolution fails)."""
+        static = host._static_managers.get(application)
+        if static:
+            return static
+        cached = host._ns_cache.get(application)
+        if cached is not None and host.clock.now() < cached[1]:
+            return cached[0]
+        if host.name_service is None:
+            return ()
+        attempts = 0
+        while policy.max_attempts is None or attempts < policy.max_attempts:
+            attempts += 1
+            result = yield from request(
+                host,
+                host._pending_lookups,
+                host.name_service,
+                lambda lookup_id: NameLookup(
+                    lookup_id=lookup_id, application=application
+                ),
+                policy.query_timeout,
+            )
+            if result is not None:
+                managers = tuple(result.managers)
+                if managers:
+                    expiry = host.clock.now() + policy.name_service_ttl
+                    host._ns_cache[application] = (managers, expiry)
+                return managers
+            if policy.retry_backoff > 0:
+                yield host.env.timeout(policy.retry_backoff)
+        return ()

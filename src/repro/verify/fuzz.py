@@ -28,6 +28,7 @@ from ..sim.clock import LocalClock
 from ..sim.failures import schedule_crash, schedule_recovery
 from ..sim.partitions import ScriptedConnectivity
 from ..sim.rng import derive_seed
+from ..sim.trace import TraceKind
 from ..workloads.generators import (
     AccessWorkload,
     AuthorizationOracle,
@@ -41,8 +42,10 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "run_cell",
+    "run_cell_trace",
     "run_fuzz",
     "shrink_schedule",
+    "PROTOCOL_TRACE_KINDS",
 ]
 
 #: The application name every fuzz cell uses.
@@ -164,9 +167,65 @@ def _drive_partition(system, connectivity, event):
     system.env.process(_proc(), name=f"fuzz-partition@{event.start}")
 
 
-def run_cell(schedule: Schedule) -> FuzzResult:
+#: Protocol-level trace kinds (network ``msg_*`` records excluded):
+#: the vocabulary golden-trace captures subscribe to.
+PROTOCOL_TRACE_KINDS: Tuple[str, ...] = tuple(
+    value
+    for name, value in sorted(vars(TraceKind).items())
+    if name.isupper() and not value.startswith("msg_")
+)
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce one trace-data value to plain JSON-able data."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def run_cell_trace(
+    schedule: Schedule,
+    kinds: Sequence[str] = PROTOCOL_TRACE_KINDS,
+) -> Tuple[FuzzResult, List[Dict[str, Any]]]:
+    """Execute one cell while capturing its protocol trace.
+
+    Returns ``(result, records)`` where each record is a JSON-able
+    ``{"time", "kind", "source", "data"}`` dict, in publication order.
+    Subscribing consumes no randomness, so the result is identical to
+    :func:`run_cell` on the same schedule — this is the recording side
+    of the golden-trace equivalence test.
+    """
+    records: List[Dict[str, Any]] = []
+
+    def capture(record) -> None:
+        records.append(
+            {
+                "time": record.time,
+                "kind": record.kind,
+                "source": record.source,
+                "data": {
+                    key: _jsonable(value)
+                    for key, value in sorted(record.data.items())
+                },
+            }
+        )
+
+    result = run_cell(schedule, _trace=(tuple(kinds), capture))
+    return result, records
+
+
+def run_cell(
+    schedule: Schedule,
+    _trace: Optional[Tuple[Tuple[str, ...], Any]] = None,
+) -> FuzzResult:
     """Execute one fuzz cell; pure function of the schedule."""
     system, connectivity = build_system(schedule)
+    if _trace is not None:
+        system.tracer.subscribe(*_trace)
     checker = system.attach_invariant_checker(raise_on_violation=False)
 
     spec = schedule.workload

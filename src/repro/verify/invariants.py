@@ -419,7 +419,7 @@ class QuorumIntersectionInvariant(Invariant):
         elif record.kind == TraceKind.ACCESS_ALLOWED:
             if data.get("reason") != "verified":
                 return
-            required = min(policy.effective_check_quorum, m)
+            required = policy.required_responses(m)
             responses = data.get("responses")
             if responses is not None and responses < required:
                 self.report(

@@ -97,6 +97,23 @@ class TestDerived:
         )
         assert policy.effective_check_quorum == 1
 
+    def test_required_responses_is_check_quorum(self):
+        policy = AccessPolicy(check_quorum=3)
+        assert policy.required_responses(5) == 3
+
+    def test_required_responses_clamped_to_manager_set(self):
+        # A stale name-service answer may yield fewer than C managers;
+        # the round must still be completable against what exists.
+        policy = AccessPolicy(check_quorum=3)
+        assert policy.required_responses(2) == 2
+        assert policy.required_responses(0) == 0
+
+    def test_required_responses_under_freeze(self):
+        policy = AccessPolicy(
+            check_quorum=3, use_freeze=True, inaccessibility_period=10.0
+        )
+        assert policy.required_responses(5) == 1  # freeze: any one manager
+
     def test_with_copies(self):
         policy = AccessPolicy(check_quorum=2)
         changed = policy.with_(check_quorum=4)

@@ -152,6 +152,79 @@ class TestAuthenticatedWrapper:
         assert app.seen == []
 
 
+class CrashingApp(Application):
+    name = APP
+
+    def handle_request(self, user, payload):
+        raise RuntimeError("boom")
+
+
+class DeployAwareApp(Application):
+    name = "aware"
+
+    def __init__(self):
+        self.deployed_on = None
+
+    def on_deploy(self, host):
+        self.deployed_on = host.address
+
+
+class TestWrapperRobustness:
+    def test_application_exception_becomes_error_response(self):
+        system, host, _app, _ = build()
+        host.applications[APP] = CrashingApp()  # swap the echo app out
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        request = client.request(host.address, APP, "x")
+        system.run(until=10)
+        assert not request.value.allowed
+        assert "application error: RuntimeError: boom" in request.value.reason
+        assert host.application_errors == 1
+
+    def test_host_survives_application_exception(self):
+        system, host, _app, _ = build()
+        host.applications[APP] = CrashingApp()
+        system.seed_grant(APP, "alice")
+        client = UserClient("c0", "alice")
+        system.network.register(client)
+        client.request(host.address, APP, "first")
+        system.run(until=10)
+        second = client.request(host.address, APP, "second")
+        system.run(until=20)
+        assert second.value is not None  # serving loop still alive
+        assert host.application_errors == 2
+
+    def test_on_deploy_hook_receives_host(self):
+        _system, host, _app, _ = build()
+        aware = DeployAwareApp()
+        host.deploy(aware)
+        assert aware.deployed_on == host.address
+
+    def test_deploy_returns_the_application(self):
+        _system, host, _app, _ = build()
+        aware = DeployAwareApp()
+        assert host.deploy(aware) is aware
+
+    def test_unknown_message_type_raises(self):
+        _system, host, _app, _ = build()
+        with pytest.raises(NotImplementedError):
+            host.handle_other_message("c0", object())
+
+    def test_denied_response_carries_protocol_reason(self):
+        system, host, app, _ = build()
+        client = UserClient("c0", "mallory")
+        system.network.register(client)
+        request = client.request(host.address, APP, "x")
+        system.run(until=10)
+        assert "access denied" in request.value.reason
+        assert "denied" in request.value.reason
+
+    def test_base_application_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Application().handle_request("alice", "x")
+
+
 class TestClient:
     def test_timeout_when_host_unreachable(self):
         system, host, _app, _ = build()
