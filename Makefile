@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-slow lint fuzz bench bench-baseline bench-compare experiments examples all clean
+.PHONY: install test test-slow lint fuzz bench bench-smoke bench-baseline bench-compare experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -12,7 +12,7 @@ test-slow:
 	PYTHONPATH=src python -m pytest -q -m slow
 
 lint:
-	ruff check src/repro/core src/repro/protocols
+	ruff check src/repro/core src/repro/protocols src/repro/sim src/repro/metrics
 	mypy
 
 fuzz:
@@ -21,15 +21,14 @@ fuzz:
 bench:
 	PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only
 
+bench-smoke:
+	PYTHONPATH=src python -m repro bench --quick
+
 bench-baseline:
-	PYTHONPATH=src python -m pytest benchmarks/bench_microbench.py benchmarks/bench_parallel.py \
-		--benchmark-only --benchmark-json=benchmarks/baseline.json
+	PYTHONPATH=src python -m repro bench --record --repeats 5 --no-artifact
 
 bench-compare:
-	PYTHONPATH=src python -m pytest benchmarks/bench_microbench.py benchmarks/bench_parallel.py \
-		--benchmark-only --benchmark-json=/tmp/bench-current.json
-	python benchmarks/compare_bench.py --baseline benchmarks/baseline.json \
-		--current /tmp/bench-current.json
+	PYTHONPATH=src python -m repro bench --repeats 5
 
 experiments:
 	PYTHONPATH=src python -m repro.experiments.cli

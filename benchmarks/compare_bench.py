@@ -25,9 +25,23 @@ from typing import Dict
 
 
 def load_medians(path: str) -> Dict[str, float]:
-    """Map benchmark name -> median seconds from a --benchmark-json file."""
+    """Map benchmark name -> median seconds.
+
+    Understands both pytest-benchmark ``--benchmark-json`` output and
+    the ``repro-bench-v1`` documents written by ``repro bench`` (see
+    ``repro.experiments.bench``), so either kind of run can be diffed
+    against either kind of baseline.  repro-bench documents yield the
+    best (minimum) sample — the noise-robust representative the CLI
+    gate compares — while pytest-benchmark output carries medians.
+    """
     with open(path) as handle:
         data = json.load(handle)
+    schema = data.get("schema")
+    if isinstance(schema, str) and schema.startswith("repro-bench"):
+        return {
+            name: entry.get("best", entry["median"])
+            for name, entry in data["benchmarks"].items()
+        }
     medians = {}
     for bench in data.get("benchmarks", []):
         medians[bench["name"]] = bench["stats"]["median"]

@@ -223,13 +223,17 @@ class AccessControlHost(Node):
     def _handle_revoke(self, src: Address, message: RevokeNotify) -> None:
         cache = self.cache_for(message.application)
         removed = cache.flush(message.user, message.right)
-        self.tracer.publish(
-            TraceKind.CACHE_FLUSHED,
-            self.address,
-            application=message.application,
-            user=message.user,
-            removed=removed,
-        )
+        tracer = self.tracer
+        if tracer.wants(TraceKind.CACHE_FLUSHED):
+            tracer.publish(
+                TraceKind.CACHE_FLUSHED,
+                self.address,
+                application=message.application,
+                user=message.user,
+                removed=removed,
+            )
+        else:
+            tracer.bump(TraceKind.CACHE_FLUSHED)
         # Always ack so the manager stops retrying, even when the entry
         # had already expired or was never cached.
         self.send(src, RevokeNotifyAck(notify_id=message.notify_id, host=self.address))

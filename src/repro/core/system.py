@@ -240,13 +240,17 @@ class AccessControlSystem:
         )
         for manager in self.managers:
             manager.bootstrap(application, [entry])
-        self.tracer.publish(
-            TraceKind.GRANT_SEEDED,
-            "system",
-            application=application,
-            user=user,
-            right=str(right),
-        )
+        tracer = self.tracer
+        if tracer.wants(TraceKind.GRANT_SEEDED):
+            tracer.publish(
+                TraceKind.GRANT_SEEDED,
+                "system",
+                application=application,
+                user=user,
+                right=str(right),
+            )
+        else:
+            tracer.bump(TraceKind.GRANT_SEEDED)
 
     def seed_grants(
         self, application: str, users: Iterable[str], right: Right = Right.USE

@@ -1,0 +1,479 @@
+"""The ``repro bench`` suite: wall-clock gates for the simulator hot path.
+
+Every empirical number in EXPERIMENTS.md is produced by pushing
+simulated messages through ``Network.send`` -> connectivity check ->
+latency sampling -> ``Tracer.publish``, so this module times exactly
+that path plus two message-heavy protocol cells, and compares the
+result against the committed ``benchmarks/baseline.json``.
+
+Unlike the pytest-benchmark suite under ``benchmarks/`` (statistical,
+per-function), these benches are coarse wall-clock measurements meant
+to gate pull requests: ``repro bench`` fails when any benchmark is more
+than 10% slower than the baseline, and every run appends a versioned
+``BENCH_<n>.json`` trajectory artifact so the repository keeps a
+history of how fast the hot path has been over time.
+
+Workloads are fully deterministic (fixed seeds, fixed message counts);
+only the wall-clock measurement varies between runs.  Two choices make
+the gate noise-robust on a shared machine: timings are normalised to
+*per-operation* seconds (so ``--quick`` CI runs compare meaningfully
+against a full-size baseline), and the gated statistic is the best of
+K repeats (transient load only ever inflates wall-clock, so the
+minimum is the stable representative).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Environment
+from ..sim.network import FixedLatency, Network
+from ..sim.node import Node
+from ..sim.partitions import ScriptedConnectivity
+from ..sim.trace import Tracer
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCHMARKS",
+    "run_suite",
+    "compare_results",
+    "next_trajectory_path",
+    "main",
+]
+
+#: Format tag written into every bench JSON artifact.
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: Default allowed best-of-K slowdown versus the baseline (10%).
+DEFAULT_THRESHOLD = 0.10
+
+
+def format_seconds(seconds: float) -> str:
+    """Human scale for per-op times spanning nanoseconds to seconds."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f}µs"
+    return f"{seconds * 1e9:.1f}ns"
+
+
+class _Sink(Node):
+    """Counts deliveries; the cheapest possible message handler."""
+
+    def __init__(self, address: str):
+        super().__init__(address)
+        self.received = 0
+
+    def handle_message(self, src, message) -> None:
+        self.received += 1
+
+
+def _message_network(n_nodes: int) -> Tuple[Environment, Network, List[_Sink]]:
+    env = Environment()
+    connectivity = ScriptedConnectivity()
+    network = Network(
+        env,
+        connectivity=connectivity,
+        latency=FixedLatency(0.001),
+        tracer=Tracer(env),
+        rng=random.Random(12345),
+    )
+    nodes = [network.register(_Sink(f"n{i}")) for i in range(n_nodes)]
+    # An active partition plus one downed link makes the connectivity
+    # check do real work: most sends are delivered, some are dropped.
+    members = [node.address for node in nodes]
+    connectivity.partition([members[: n_nodes - 2], members[n_nodes - 2 :]])
+    return env, network, nodes
+
+
+def bench_msg_send_deliver(messages: int) -> Dict[str, Any]:
+    """The message-heavy microbench: a unicast send/deliver loop."""
+    n_nodes = 16
+    env, network, nodes = _message_network(n_nodes)
+    payload = ("payload", 42)
+    started = time.perf_counter()
+    send = network.send
+    for i in range(messages):
+        src = nodes[i % n_nodes].address
+        dst = nodes[(i * 7 + 3) % n_nodes].address
+        send(src, dst, payload)
+    env.run()
+    elapsed = time.perf_counter() - started
+    delivered = sum(node.received for node in nodes)
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "messages": messages,
+            "delivered": delivered,
+            "dropped": network.messages_dropped,
+        },
+    }
+
+
+def bench_msg_multicast(rounds: int) -> Dict[str, Any]:
+    """Fan-out path: one sender multicasting to every other node."""
+    n_nodes = 16
+    env, network, nodes = _message_network(n_nodes)
+    payload = ("update", 1)
+    others = [node.address for node in nodes[1:]]
+    src = nodes[0].address
+    started = time.perf_counter()
+    multicast = network.multicast
+    for _ in range(rounds):
+        multicast(src, others, payload)
+    env.run()
+    elapsed = time.perf_counter() - started
+    delivered = sum(node.received for node in nodes)
+    return {
+        "elapsed": elapsed,
+        "meta": {"rounds": rounds, "fanout": len(others), "delivered": delivered},
+    }
+
+
+def bench_reachable(queries: int) -> Dict[str, Any]:
+    """Tight ``Network.reachable`` loop under an active partition."""
+    n_nodes = 16
+    env, network, nodes = _message_network(n_nodes)
+    addresses = [node.address for node in nodes]
+    reachable = network.reachable
+    started = time.perf_counter()
+    hits = 0
+    for i in range(queries):
+        a = addresses[i % n_nodes]
+        b = addresses[(i * 5 + 1) % n_nodes]
+        if reachable(a, b):
+            hits += 1
+    elapsed = time.perf_counter() - started
+    return {"elapsed": elapsed, "meta": {"queries": queries, "reachable": hits}}
+
+
+def bench_cache_hit_checks(checks: int) -> Dict[str, Any]:
+    """Figure 3 fast path: access checks served from ``ACL_cache(A)``."""
+    from ..core.policy import AccessPolicy
+    from ..core.system import AccessControlSystem
+
+    system = AccessControlSystem(
+        n_managers=3,
+        n_hosts=1,
+        policy=AccessPolicy(check_quorum=2, expiry_bound=1e9),
+        latency=FixedLatency(0.01),
+        clock_drift=False,
+    )
+    system.seed_grant("app", "u")
+    host = system.hosts[0]
+    warm = host.request_access("app", "u")
+    system.run(until=5.0)
+    assert warm.value.allowed
+    started = time.perf_counter()
+    processes = [host.request_access("app", "u") for _ in range(checks)]
+    system.run(until=system.env.now + 1.0)
+    elapsed = time.perf_counter() - started
+    allowed = sum(1 for process in processes if process.value.allowed)
+    return {"elapsed": elapsed, "meta": {"checks": checks, "allowed": allowed}}
+
+
+def _bench_cell(cell: int, repeats: int) -> Dict[str, Any]:
+    """Run one fuzz-derived experiment cell ``repeats`` times, timed.
+
+    These cells drive the full protocol stack (hosts, managers, quorum
+    or freeze dissemination, partitions, crashes, workloads) through the
+    network hot path — the end-to-end shape every experiment table has.
+    """
+    from ..verify.fuzz import run_cell
+    from ..verify.schedules import generate_schedule
+
+    schedule = generate_schedule(7, cell)
+    observations = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        result = run_cell(schedule)
+        assert result.ok, result.violations
+        observations += result.stats["observations"]
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "cell": cell,
+            "repeats": repeats,
+            "observations": observations,
+            "describe": schedule.describe(),
+        },
+    }
+
+
+def bench_cell_quorum(repeats: int) -> Dict[str, Any]:
+    """Message-heavy experiment cell using quorum dissemination."""
+    return _bench_cell(2, repeats)
+
+
+def bench_cell_freeze(repeats: int) -> Dict[str, Any]:
+    """Message-heavy experiment cell using freeze dissemination."""
+    return _bench_cell(3, repeats)
+
+
+#: name -> (function, full-size argument, quick-size argument).
+BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
+    "msg_send_deliver": (bench_msg_send_deliver, 120_000, 20_000),
+    "msg_multicast": (bench_msg_multicast, 8_000, 1_500),
+    "reachable": (bench_reachable, 300_000, 50_000),
+    "cache_hit_checks": (bench_cache_hit_checks, 4_000, 1_000),
+    "cell_quorum": (bench_cell_quorum, 10, 2),
+    "cell_freeze": (bench_cell_freeze, 10, 2),
+}
+
+
+def run_suite(
+    quick: bool = False, repeats: int = 3, names: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """Run the suite and return a ``repro-bench-v1`` result document.
+
+    ``median`` and ``best`` are *per-operation* seconds (elapsed divided
+    by the workload size): every benchmark repeats an identical unit of
+    work, so per-op times from a ``--quick`` run are directly comparable
+    with a full-size baseline and the CI smoke gate cannot pass
+    vacuously just because its workloads are smaller.  ``samples`` keeps
+    the raw total elapsed times alongside ``size``.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    selected = names or list(BENCHMARKS)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        raise ValueError(f"unknown benchmarks: {', '.join(unknown)}")
+    results: Dict[str, Any] = {}
+    for name in selected:
+        fn, full_size, quick_size = BENCHMARKS[name]
+        size = quick_size if quick else full_size
+        samples = []
+        meta: Dict[str, Any] = {}
+        for _ in range(repeats):
+            outcome = fn(size)
+            samples.append(outcome["elapsed"])
+            meta = outcome["meta"]
+        results[name] = {
+            "median": statistics.median(samples) / size,
+            "best": min(samples) / size,
+            "samples": samples,
+            "size": size,
+            "meta": meta,
+        }
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "benchmarks": results,
+    }
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Benchmark name -> representative seconds, from either format.
+
+    Reads ``repro-bench-v1`` documents (this module) and pytest-benchmark
+    ``--benchmark-json`` output, so one comparison engine serves both the
+    CLI gate and the legacy ``benchmarks/`` suite.  For repro-bench
+    documents the representative value is the *best* (minimum) sample:
+    transient machine load only ever inflates wall-clock timings, so
+    min-of-N is far more stable across runs on a shared box than the
+    median.  pytest-benchmark output carries only a median.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data.get("schema"), str) and data["schema"].startswith("repro-bench"):
+        return {
+            name: entry.get("best", entry["median"])
+            for name, entry in data["benchmarks"].items()
+        }
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def compare_results(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], Dict[str, Any]]:
+    """Compare best-of-N timings; return (report lines, comparison doc).
+
+    A benchmark regresses when its best sample is more than
+    ``threshold`` slower than the baseline's best sample.  Benchmarks
+    present on only one side are reported but never fail the gate, so
+    adding or retiring a benchmark cannot break CI.
+    """
+    shared = sorted(set(baseline) & set(current))
+    lines: List[str] = []
+    comparison: Dict[str, Any] = {}
+    regressions: List[str] = []
+    width = max((len(name) for name in shared), default=9)
+    lines.append(
+        f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  "
+        f"{'ratio':>7}  verdict"
+    )
+    for name in shared:
+        base_s, curr_s = baseline[name], current[name]
+        ratio = curr_s / base_s if base_s else float("inf")
+        if ratio > 1.0 + threshold:
+            verdict = f"REGRESSION (> {threshold:.0%})"
+            regressions.append(name)
+        elif ratio < 1.0:
+            verdict = f"improved ({1.0 - ratio:.0%} faster)"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{name.ljust(width)}  {format_seconds(base_s):>12}  "
+            f"{format_seconds(curr_s):>12}  {ratio:>6.2f}x  {verdict}"
+        )
+        comparison[name] = {
+            "baseline": base_s,
+            "current": curr_s,
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + threshold,
+        }
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"{name.ljust(width)}  (missing from current run — skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{name.ljust(width)}  (new benchmark — no baseline)")
+    comparison["_regressions"] = regressions
+    return lines, comparison
+
+
+def next_trajectory_path(directory: str) -> str:
+    """First free ``BENCH_<n>.json`` path under ``directory`` (n >= 1)."""
+    n = 1
+    while True:
+        candidate = os.path.join(directory, f"BENCH_{n}.json")
+        if not os.path.exists(candidate):
+            return candidate
+        n += 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """The ``repro bench`` subcommand body (parsed by the caller)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run the hot-path benchmark suite, write a BENCH_<n>.json "
+            "trajectory artifact, and fail on regression versus the "
+            "committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "names", nargs="*", help="benchmark names to run (default: all)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads for CI smoke runs",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="K",
+        help="timing repeats per benchmark; the best sample gates "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="baseline JSON to compare against (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed best-of-K slowdown as a fraction "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", default="benchmarks",
+        help="directory for the BENCH_<n>.json artifact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="overwrite the baseline with this run after comparing",
+    )
+    parser.add_argument(
+        "--no-artifact", action="store_true",
+        help="skip writing the BENCH_<n>.json trajectory artifact",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmark names and exit"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="wrap the run in cProfile; writes repro-bench.prof next to --out",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+
+    from .cli import _profiled
+
+    with _profiled(args.profile, os.path.join(args.out, "repro-bench.prof")):
+        document = run_suite(
+            quick=args.quick, repeats=args.repeats, names=args.names or None
+        )
+
+    for name, entry in document["benchmarks"].items():
+        print(
+            f"{name}: best {format_seconds(entry['best'])}/op "
+            f"(median {format_seconds(entry['median'])}/op, "
+            f"{args.repeats} run(s) of {entry['size']} ops)"
+        )
+
+    current = {
+        name: entry["best"] for name, entry in document["benchmarks"].items()
+    }
+    regressions: List[str] = []
+    try:
+        baseline = load_medians(args.baseline)
+    except FileNotFoundError:
+        baseline = None
+        print(f"\nno baseline at {args.baseline}; "
+              "record one with `repro bench --record`")
+    if baseline is not None:
+        lines, comparison = compare_results(baseline, current, args.threshold)
+        print()
+        print("\n".join(lines))
+        regressions = comparison.pop("_regressions")
+        document["baseline"] = args.baseline
+        document["threshold"] = args.threshold
+        document["comparison"] = comparison
+
+    if not args.no_artifact:
+        os.makedirs(args.out, exist_ok=True)
+        artifact = next_trajectory_path(args.out)
+        document["artifact"] = os.path.basename(artifact)
+        with open(artifact, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\ntrajectory artifact written to {artifact}")
+
+    if args.record:
+        with open(args.baseline, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded this run as {args.baseline}")
+        return 0
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressions)}"
+        )
+        return 1
+    if baseline is not None:
+        print("\nno regressions past the threshold")
+    return 0

@@ -17,15 +17,42 @@ Two protocol-conformance extras (see ``docs/PROTOCOL.md``):
 from __future__ import annotations
 
 import argparse
+import contextlib
 import inspect
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from . import EXPERIMENTS, run_experiment
 
 __all__ = ["main"]
+
+
+@contextlib.contextmanager
+def _profiled(enabled: bool, path: str) -> Iterator[None]:
+    """Wrap the block in ``cProfile`` and dump stats to ``path``.
+
+    A no-op when ``enabled`` is false, so call sites stay branch-free.
+    The dump is written even when the block raises, so a crashed run
+    still leaves its profile behind for inspection.
+    """
+    if not enabled:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        profiler.dump_stats(path)
+        print(f"profile written to {path}")
 
 
 def _fuzz_main(argv: List[str]) -> int:
@@ -62,16 +89,22 @@ def _fuzz_main(argv: List[str]) -> int:
         "--out", metavar="DIR", default=".",
         help="directory for minimal failing schedules (default: .)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and write repro-fuzz.prof next to --out",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (0 = all CPUs), got {args.jobs}")
 
     from ..verify import Schedule, run_cell, run_fuzz
 
+    prof_path = os.path.join(args.out, "repro-fuzz.prof")
     if args.schedule is not None:
         schedule = Schedule.load(args.schedule)
         print(f"replaying {args.schedule}: {schedule.describe()}")
-        result = run_cell(schedule)
+        with _profiled(args.profile, prof_path):
+            result = run_cell(schedule)
         if result.ok:
             print("replay passed: no invariant violations")
             return 0
@@ -85,9 +118,10 @@ def _fuzz_main(argv: List[str]) -> int:
     if args.cells < 1:
         parser.error(f"--cells must be positive, got {args.cells}")
     started = time.perf_counter()
-    report = run_fuzz(
-        args.seed, args.cells, jobs=args.jobs, shrink=not args.no_shrink
-    )
+    with _profiled(args.profile, prof_path):
+        report = run_fuzz(
+            args.seed, args.cells, jobs=args.jobs, shrink=not args.no_shrink
+        )
     elapsed = time.perf_counter() - started
     print(report.summary())
     for failure in report.failures:
@@ -111,6 +145,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "fuzz":
         return _fuzz_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(
@@ -147,6 +185,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="attach the protocol invariant oracles to every system the "
         "experiments build; a violation aborts with a structured error",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the selected experiments under cProfile and write "
+        "repro-experiments.prof next to --out",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help="directory for artifacts such as the --profile dump "
+        "(default: .)",
+    )
     args = parser.parse_args(argv)
 
     if args.check_invariants:
@@ -172,17 +223,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"known: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
         return 2
 
-    for experiment_id in ids:
-        kwargs = {}
-        if args.seed is not None and _accepts(experiment_id, "seed"):
-            kwargs["seed"] = args.seed
-        if args.jobs != 1 and _accepts(experiment_id, "jobs"):
-            kwargs["jobs"] = args.jobs
-        started = time.perf_counter()
-        result = run_experiment(experiment_id, **kwargs)
-        elapsed = time.perf_counter() - started
-        print(result.render())
-        print(f"\n[{experiment_id} completed in {elapsed:.2f}s]\n")
+    prof_path = os.path.join(args.out, "repro-experiments.prof")
+    with _profiled(args.profile, prof_path):
+        for experiment_id in ids:
+            kwargs = {}
+            if args.seed is not None and _accepts(experiment_id, "seed"):
+                kwargs["seed"] = args.seed
+            if args.jobs != 1 and _accepts(experiment_id, "jobs"):
+                kwargs["jobs"] = args.jobs
+            started = time.perf_counter()
+            result = run_experiment(experiment_id, **kwargs)
+            elapsed = time.perf_counter() - started
+            print(result.render())
+            print(f"\n[{experiment_id} completed in {elapsed:.2f}s]\n")
     return 0
 
 

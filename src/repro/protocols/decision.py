@@ -57,13 +57,17 @@ class DecisionPolicy:
                 if decision.reason in ("exhausted", "host_crashed")
                 else TraceKind.ACCESS_DENIED
             )
-        host.tracer.publish(
-            kind,
-            host.address,
-            application=decision.application,
-            user=decision.user,
-            reason=decision.reason,
-            attempts=decision.attempts,
-            responses=decision.responses,
-            latency=decision.latency,
-        )
+        tracer = host.tracer
+        if tracer.wants(kind):
+            tracer.publish(
+                kind,
+                host.address,
+                application=decision.application,
+                user=decision.user,
+                reason=decision.reason,
+                attempts=decision.attempts,
+                responses=decision.responses,
+                latency=decision.latency,
+            )
+        else:
+            tracer.bump(kind)

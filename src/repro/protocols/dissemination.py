@@ -95,16 +95,20 @@ class DisseminationStrategy:
             origin=manager.address,
         )
         manager._apply_entry(application, update.entry())
-        manager.tracer.publish(
-            TraceKind.UPDATE_ISSUED,
-            manager.address,
-            application=application,
-            user=user,
-            right=str(right),
-            grant=grant,
-            update_id=update.update_id,
-            version=(update.version.counter, update.version.origin),
-        )
+        tracer = manager.tracer
+        if tracer.wants(TraceKind.UPDATE_ISSUED):
+            tracer.publish(
+                TraceKind.UPDATE_ISSUED,
+                manager.address,
+                application=application,
+                user=user,
+                right=str(right),
+                grant=grant,
+                update_id=update.update_id,
+                version=(update.version.counter, update.version.origin),
+            )
+        else:
+            tracer.bump(TraceKind.UPDATE_ISSUED)
         pending = PendingUpdate(
             update=update,
             unacked=set(peers),
@@ -145,26 +149,33 @@ class DisseminationStrategy:
 
     def check_progress(self, manager, pending: PendingUpdate) -> None:
         """Fire the quorum / completion events as acks arrive."""
+        tracer = manager.tracer
         if pending.acks >= pending.quorum_needed and not pending.quorum_event.triggered:
             pending.quorum_event.succeed(manager.env.now - pending.issued_at)
-            manager.tracer.publish(
-                TraceKind.UPDATE_QUORUM_REACHED,
-                manager.address,
-                update_id=pending.update.update_id,
-                application=pending.update.application,
-                elapsed=manager.env.now - pending.issued_at,
-                acks=pending.acks,
-                grant=pending.update.grant,
-            )
+            if tracer.wants(TraceKind.UPDATE_QUORUM_REACHED):
+                tracer.publish(
+                    TraceKind.UPDATE_QUORUM_REACHED,
+                    manager.address,
+                    update_id=pending.update.update_id,
+                    application=pending.update.application,
+                    elapsed=manager.env.now - pending.issued_at,
+                    acks=pending.acks,
+                    grant=pending.update.grant,
+                )
+            else:
+                tracer.bump(TraceKind.UPDATE_QUORUM_REACHED)
         if not pending.unacked and not pending.done_event.triggered:
             pending.done_event.succeed(manager.env.now - pending.issued_at)
-            manager.tracer.publish(
-                TraceKind.UPDATE_FULLY_PROPAGATED,
-                manager.address,
-                update_id=pending.update.update_id,
-                application=pending.update.application,
-                elapsed=manager.env.now - pending.issued_at,
-            )
+            if tracer.wants(TraceKind.UPDATE_FULLY_PROPAGATED):
+                tracer.publish(
+                    TraceKind.UPDATE_FULLY_PROPAGATED,
+                    manager.address,
+                    update_id=pending.update.update_id,
+                    application=pending.update.application,
+                    elapsed=manager.env.now - pending.issued_at,
+                )
+            else:
+                tracer.bump(TraceKind.UPDATE_FULLY_PROPAGATED)
             manager._pending_updates.pop(pending.update.update_id, None)
 
     def on_ack(self, manager, pending: PendingUpdate, acker: Address) -> None:
@@ -216,20 +227,27 @@ class FreezeStrategy(DisseminationStrategy):
                     )
                 frozen = self.is_frozen(manager, application, policy)
                 was_frozen = application in manager._frozen_apps
+                tracer = manager.tracer
                 if frozen and not was_frozen:
                     manager._frozen_apps.add(application)
-                    manager.tracer.publish(
-                        TraceKind.MANAGER_FROZEN,
-                        manager.address,
-                        application=application,
-                    )
+                    if tracer.wants(TraceKind.MANAGER_FROZEN):
+                        tracer.publish(
+                            TraceKind.MANAGER_FROZEN,
+                            manager.address,
+                            application=application,
+                        )
+                    else:
+                        tracer.bump(TraceKind.MANAGER_FROZEN)
                 elif not frozen and was_frozen:
                     manager._frozen_apps.discard(application)
-                    manager.tracer.publish(
-                        TraceKind.MANAGER_UNFROZEN,
-                        manager.address,
-                        application=application,
-                    )
+                    if tracer.wants(TraceKind.MANAGER_UNFROZEN):
+                        tracer.publish(
+                            TraceKind.MANAGER_UNFROZEN,
+                            manager.address,
+                            application=application,
+                        )
+                    else:
+                        tracer.bump(TraceKind.MANAGER_UNFROZEN)
             yield manager.env.timeout(policy.ping_interval)
 
 

@@ -83,13 +83,16 @@ class VerificationPipeline:
         start_real = host.env.now
         incarnation = host._incarnation
         host.stats["checks"] += 1
-        tracer.publish(
-            TraceKind.ACCESS_REQUESTED,
-            host.address,
-            application=application,
-            user=user,
-            right=str(right),
-        )
+        if tracer.wants(TraceKind.ACCESS_REQUESTED):
+            tracer.publish(
+                TraceKind.ACCESS_REQUESTED,
+                host.address,
+                application=application,
+                user=user,
+                right=str(right),
+            )
+        else:
+            tracer.bump(TraceKind.ACCESS_REQUESTED)
 
         def decide(allowed: bool, reason: str, attempts: int, responses: int
                    ) -> AccessDecision:
@@ -111,21 +114,28 @@ class VerificationPipeline:
         now_local = host.clock.now()
         lookup = cache.lookup(user, right, now_local)
         if lookup.hit:
+            if tracer.wants(TraceKind.CACHE_HIT):
+                tracer.publish(
+                    TraceKind.CACHE_HIT,
+                    host.address,
+                    application=application,
+                    user=user,
+                    limit=lookup.entry.limit,
+                    now_local=now_local,
+                )
+            else:
+                tracer.bump(TraceKind.CACHE_HIT)
+            return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
+        miss_kind = TraceKind.CACHE_EXPIRED if lookup.expired else TraceKind.CACHE_MISS
+        if tracer.wants(miss_kind):
             tracer.publish(
-                TraceKind.CACHE_HIT,
+                miss_kind,
                 host.address,
                 application=application,
                 user=user,
-                limit=lookup.entry.limit,
-                now_local=now_local,
             )
-            return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
-        tracer.publish(
-            TraceKind.CACHE_EXPIRED if lookup.expired else TraceKind.CACHE_MISS,
-            host.address,
-            application=application,
-            user=user,
-        )
+        else:
+            tracer.bump(miss_kind)
 
         # -- negative-cache fast path (extension) --------------------------
         if policy.deny_cache_ttl is not None:
@@ -198,17 +208,21 @@ class VerificationPipeline:
                         ),
                         now_local=host.clock.now() if user_driven else None,
                     )
-                    host.tracer.publish(
-                        TraceKind.CACHE_STORED,
-                        host.address,
-                        application=application,
-                        user=user,
-                        right=str(right),
-                        limit=limit,
-                        send_local=send_local,
-                        now_local=host.clock.now(),
-                        te=best.te,
-                    )
+                    tracer = host.tracer
+                    if tracer.wants(TraceKind.CACHE_STORED):
+                        tracer.publish(
+                            TraceKind.CACHE_STORED,
+                            host.address,
+                            application=application,
+                            user=user,
+                            right=str(right),
+                            limit=limit,
+                            send_local=send_local,
+                            now_local=host.clock.now(),
+                            te=best.te,
+                        )
+                    else:
+                        tracer.bump(TraceKind.CACHE_STORED)
                     host._deny_cache.pop((application, user, right), None)
                     return (GRANT, attempts, len(responses))
                 if policy.deny_cache_ttl is not None:
@@ -216,14 +230,18 @@ class VerificationPipeline:
                         host.clock.now() + policy.deny_cache_ttl
                     )
                 return (DENY, attempts, len(responses))
-            host.tracer.publish(
-                TraceKind.QUERY_TIMEOUT,
-                host.address,
-                application=application,
-                user=user,
-                attempt=attempts,
-                responses=len(responses),
-            )
+            tracer = host.tracer
+            if tracer.wants(TraceKind.QUERY_TIMEOUT):
+                tracer.publish(
+                    TraceKind.QUERY_TIMEOUT,
+                    host.address,
+                    application=application,
+                    user=user,
+                    attempt=attempts,
+                    responses=len(responses),
+                )
+            else:
+                tracer.bump(TraceKind.QUERY_TIMEOUT)
             if policy.retry_backoff > 0 and (
                 policy.max_attempts is None or attempts < policy.max_attempts
             ):

@@ -75,16 +75,22 @@ class ParallelPlanner(QueryPlanner):
 
         def on_response(response: QueryResponse) -> None:
             responses.append(response)
-            host.tracer.publish(
-                TraceKind.QUERY_ANSWERED,
-                host.address,
-                application=application,
-                manager=response.manager,
-                verdict=response.verdict,
-            )
+            tracer = host.tracer
+            if tracer.wants(TraceKind.QUERY_ANSWERED):
+                tracer.publish(
+                    TraceKind.QUERY_ANSWERED,
+                    host.address,
+                    application=application,
+                    manager=response.manager,
+                    verdict=response.verdict,
+                )
+            else:
+                tracer.bump(TraceKind.QUERY_ANSWERED)
             if combiner.round_complete(responses, required) and not done.triggered:
                 done.succeed()
 
+        tracer = host.tracer
+        wants_sent = tracer.wants(TraceKind.QUERY_SENT)
         for manager in managers:
             qid = host._pending_queries.allocate(on_response)
             query_ids.append(qid)
@@ -94,13 +100,16 @@ class ParallelPlanner(QueryPlanner):
                     query_id=qid, application=application, user=user, right=right
                 ),
             )
-            host.tracer.publish(
-                TraceKind.QUERY_SENT,
-                host.address,
-                application=application,
-                manager=manager,
-                user=user,
-            )
+            if wants_sent:
+                tracer.publish(
+                    TraceKind.QUERY_SENT,
+                    host.address,
+                    application=application,
+                    manager=manager,
+                    user=user,
+                )
+            else:
+                tracer.bump(TraceKind.QUERY_SENT)
         timer = host.env.timeout(policy.query_timeout)
         yield host.env.any_of([done, timer])
         for qid in query_ids:  # discard late responses
@@ -129,6 +138,20 @@ class SequentialPlanner(QueryPlanner):
         responses: List[QueryResponse] = []
         offset = next(host._sequential_rounds) % len(managers)
         ordered = list(managers[offset:]) + list(managers[:offset])
+        tracer = host.tracer
+
+        def trace_sent(manager: str) -> None:
+            if tracer.wants(TraceKind.QUERY_SENT):
+                tracer.publish(
+                    TraceKind.QUERY_SENT,
+                    host.address,
+                    application=application,
+                    manager=manager,
+                    user=user,
+                )
+            else:
+                tracer.bump(TraceKind.QUERY_SENT)
+
         for manager in ordered:
             if combiner.round_complete(responses, required):
                 break
@@ -140,23 +163,20 @@ class SequentialPlanner(QueryPlanner):
                     query_id=qid, application=application, user=user, right=right
                 ),
                 policy.query_timeout,
-                on_sent=lambda manager=manager: host.tracer.publish(
-                    TraceKind.QUERY_SENT,
-                    host.address,
-                    application=application,
-                    manager=manager,
-                    user=user,
-                ),
+                on_sent=lambda manager=manager: trace_sent(manager),
             )
             if response is not None:
                 responses.append(response)
-                host.tracer.publish(
-                    TraceKind.QUERY_ANSWERED,
-                    host.address,
-                    application=application,
-                    manager=response.manager,
-                    verdict=response.verdict,
-                )
+                if tracer.wants(TraceKind.QUERY_ANSWERED):
+                    tracer.publish(
+                        TraceKind.QUERY_ANSWERED,
+                        host.address,
+                        application=application,
+                        manager=response.manager,
+                        verdict=response.verdict,
+                    )
+                else:
+                    tracer.bump(TraceKind.QUERY_ANSWERED)
         return responses
 
 

@@ -42,11 +42,15 @@ class RecoverySync:
             yield manager.env.timeout(policy.query_timeout)
         if manager._synced_peers and manager.up:
             manager.recovering = False
-            manager.tracer.publish(
-                TraceKind.MANAGER_RESYNCED,
-                manager.address,
-                peers=len(manager._synced_peers),
-            )
+            tracer = manager.tracer
+            if tracer.wants(TraceKind.MANAGER_RESYNCED):
+                tracer.publish(
+                    TraceKind.MANAGER_RESYNCED,
+                    manager.address,
+                    peers=len(manager._synced_peers),
+                )
+            else:
+                tracer.bump(TraceKind.MANAGER_RESYNCED)
 
     def handle_sync_request(self, manager, src: Address, message: SyncRequest) -> None:
         snapshots = tuple(

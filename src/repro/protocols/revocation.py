@@ -46,6 +46,19 @@ class RevocationForwarder:
             version=update.version,
             notify_id=notify_id,
         )
+        def trace_forwarded() -> None:
+            tracer = manager.tracer
+            if tracer.wants(TraceKind.REVOKE_FORWARDED):
+                tracer.publish(
+                    TraceKind.REVOKE_FORWARDED,
+                    manager.address,
+                    host=host,
+                    application=update.application,
+                    user=update.user,
+                )
+            else:
+                tracer.bump(TraceKind.REVOKE_FORWARDED)
+
         try:
             yield from retry_until_acked(
                 manager,
@@ -54,13 +67,7 @@ class RevocationForwarder:
                 policy.revoke_retry_interval,
                 acked,
                 deadline=deadline,
-                on_sent=lambda: manager.tracer.publish(
-                    TraceKind.REVOKE_FORWARDED,
-                    manager.address,
-                    host=host,
-                    application=update.application,
-                    user=update.user,
-                ),
+                on_sent=trace_forwarded,
             )
         finally:
             manager._pending_notifies.pop(notify_id, None)

@@ -158,12 +158,13 @@ def run_parallel(
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(chunks)), mp_context=context
         )
-    except (OSError, PermissionError) as exc:  # pragma: no cover - sandboxed hosts
+    except (OSError, PermissionError) as exc:
         return _run_inline(
             fn,
             tasks,
             "inline-fallback",
-            reason=f"process pool creation failed ({exc!r})",
+            reason=f"process pool creation failed "
+            f"({type(exc).__name__}: {exc})",
         )
     _last_run_mode = "pool"
     indexed: List[Tuple[int, Any]] = []

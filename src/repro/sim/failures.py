@@ -10,6 +10,14 @@ hooks run.
 
 Deterministic one-shot injections for tests are provided by
 :func:`schedule_crash` and :func:`schedule_recovery`.
+
+Interaction with the network's reachability epoch cache: crash and
+recovery flip ``Node.up``, which the network checks *outside* the
+cached connectivity answer (see :meth:`repro.sim.network.Network.reachable`),
+so these transitions need no epoch bump to stay exact — partitions and
+link toggles invalidate via
+:meth:`repro.sim.partitions.ConnectivityModel.bump_epoch`, up/down state
+is read fresh on every decision.
 """
 
 from __future__ import annotations
@@ -75,18 +83,25 @@ class CrashRecoveryInjector:
         return self.mttf / (self.mttf + self.mttr)
 
     def _drive(self, node: Node):
+        tracer = self.tracer
         while True:
             yield self.env.timeout(self.rng.expovariate(1.0 / self.mttf))
             if node.up:
                 node.crash()
                 self.crashes_injected += 1
-                if self.tracer is not None:
-                    self.tracer.publish(TraceKind.HOST_CRASHED, node.address)
+                if tracer is not None:
+                    if tracer.wants(TraceKind.HOST_CRASHED):
+                        tracer.publish(TraceKind.HOST_CRASHED, node.address)
+                    else:
+                        tracer.bump(TraceKind.HOST_CRASHED)
             yield self.env.timeout(self.rng.expovariate(1.0 / self.mttr))
             if not node.up:
                 node.recover()
-                if self.tracer is not None:
-                    self.tracer.publish(TraceKind.HOST_RECOVERED, node.address)
+                if tracer is not None:
+                    if tracer.wants(TraceKind.HOST_RECOVERED):
+                        tracer.publish(TraceKind.HOST_RECOVERED, node.address)
+                    else:
+                        tracer.bump(TraceKind.HOST_RECOVERED)
 
 
 def schedule_crash(
@@ -101,7 +116,10 @@ def schedule_crash(
         yield env.timeout(delay)
         node.crash()
         if tracer is not None:
-            tracer.publish(TraceKind.HOST_CRASHED, node.address)
+            if tracer.wants(TraceKind.HOST_CRASHED):
+                tracer.publish(TraceKind.HOST_CRASHED, node.address)
+            else:
+                tracer.bump(TraceKind.HOST_CRASHED)
 
     return env.process(_proc(), name=f"crash:{node.address}")
 
@@ -118,6 +136,9 @@ def schedule_recovery(
         yield env.timeout(delay)
         node.recover()
         if tracer is not None:
-            tracer.publish(TraceKind.HOST_RECOVERED, node.address)
+            if tracer.wants(TraceKind.HOST_RECOVERED):
+                tracer.publish(TraceKind.HOST_RECOVERED, node.address)
+            else:
+                tracer.bump(TraceKind.HOST_RECOVERED)
 
     return env.process(_proc(), name=f"recover:{node.address}")

@@ -11,12 +11,37 @@ random loss process fires.
 There are deliberately no acknowledgements, retransmissions, or FIFO
 guarantees here — reliability is the protocol's job, which is the whole
 point of the paper.
+
+Hot path
+--------
+``send`` -> reachability -> latency -> schedule -> ``_deliver`` is the
+inner loop of every experiment, so it is engineered to allocate and
+recompute as little as possible per message:
+
+* Reachability answers are served from an epoch cache: connectivity
+  models bump a topology epoch on every transition, and between bumps
+  the network answers ``reachable`` from a flat component-id table (two
+  dict lookups) or a per-pair memo — see
+  :class:`~repro.sim.partitions.ConnectivityModel`.  Host up/down state
+  is deliberately layered *outside* the cache (a plain attribute check),
+  so crash/recovery transitions need no invalidation to stay exact.
+* Trace publishes go through the guarded tracer API
+  (:meth:`~repro.sim.trace.Tracer.wants` /
+  :meth:`~repro.sim.trace.Tracer.bump`): when nobody subscribes to the
+  ``msg_*`` kinds, no payload dict is ever built.
+* Constant-latency models advertise their delay up front
+  (:meth:`LatencyModel.constant_delay`), skipping the per-message sample
+  call; stochastic models keep drawing per message, in the same order
+  as always, so seeded runs stay byte-identical.
+* Deliveries are queued as :class:`_Delivery` entries — bare schedulable
+  objects, not full events — and ``multicast`` with a constant-latency
+  model batches the whole fan-out into a single queue insertion.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from .engine import Environment
 from .node import Address, Node
@@ -38,6 +63,16 @@ class LatencyModel:
     def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
         raise NotImplementedError
 
+    def constant_delay(self) -> Optional[float]:
+        """The model's delay when it is constant, else ``None``.
+
+        A non-None answer lets the network skip the per-message
+        ``sample`` call (and batch multicasts); models that consume
+        randomness must return ``None`` so their draw order is
+        preserved.
+        """
+        return None
+
 
 class FixedLatency(LatencyModel):
     """Constant latency; the default for deterministic unit tests."""
@@ -48,6 +83,9 @@ class FixedLatency(LatencyModel):
         self.delay = delay
 
     def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        return self.delay
+
+    def constant_delay(self) -> float:
         return self.delay
 
 
@@ -63,6 +101,9 @@ class UniformLatency(LatencyModel):
     def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
         return rng.uniform(self.low, self.high)
 
+    def constant_delay(self) -> Optional[float]:
+        return self.low if self.low == self.high else None
+
 
 class ShiftedExponentialLatency(LatencyModel):
     """``minimum + Exp(mean_extra)`` — a common WAN round-trip shape:
@@ -77,6 +118,56 @@ class ShiftedExponentialLatency(LatencyModel):
     def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
         extra = rng.expovariate(1.0 / self.mean_extra) if self.mean_extra > 0 else 0.0
         return self.minimum + extra
+
+    def constant_delay(self) -> Optional[float]:
+        return self.minimum if self.mean_extra == 0 else None
+
+
+class _Delivery:
+    """Queue entry for one in-flight unicast message.
+
+    Mimics just enough of a processed event (``_process``) for the
+    engine to run it, without paying for an ``Event`` allocation, a
+    closure, and a callback list per message — the same trick as the
+    engine's ``_Bootstrap``.
+    """
+
+    __slots__ = ("network", "src", "dst", "message")
+
+    def __init__(self, network: "Network", src: Address, dst: Address, message: Any):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.message = message
+
+    def _process(self) -> None:
+        self.network._deliver(self.src, self.dst, self.message)
+
+
+class _MulticastDelivery:
+    """Queue entry for a batched constant-latency multicast fan-out.
+
+    One heap insertion delivers to every surviving destination, in the
+    order the per-destination events would have fired (they would have
+    occupied consecutive tie-break slots at the same timestamp).
+    """
+
+    __slots__ = ("network", "src", "dsts", "message")
+
+    def __init__(
+        self, network: "Network", src: Address, dsts: List[Address], message: Any
+    ):
+        self.network = network
+        self.src = src
+        self.dsts = dsts
+        self.message = message
+
+    def _process(self) -> None:
+        network = self.network
+        src = self.src
+        message = self.message
+        for dst in self.dsts:
+            network._deliver(src, dst, message)
 
 
 class Network:
@@ -139,6 +230,15 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.messages_duplicated = 0
+        # Epoch-cache state: valid while the connectivity model's epoch
+        # matches ``_reach_epoch``.  ``_component_table`` serves answers
+        # with two flat lookups when the model's state is a clean
+        # partition; ``_pair_cache`` memoises per-pair answers otherwise.
+        self._conn_cacheable = self.connectivity.cacheable
+        self._reach_epoch = -1
+        self._component_table: Optional[Dict[Address, int]] = None
+        self._pair_cache: Dict[tuple, bool] = {}
+        self._fixed_delay = self.latency.constant_delay()
         self.connectivity.attach(env, self.rng, self.tracer)
 
     # -- membership -----------------------------------------------------------
@@ -157,6 +257,25 @@ class Network:
         return list(self.nodes)
 
     # -- reachability -------------------------------------------------------------
+    def _connected(self, a: Address, b: Address) -> bool:
+        """Connectivity-model answer for ``a != b``, via the epoch cache."""
+        connectivity = self.connectivity
+        if not self._conn_cacheable:
+            return connectivity.is_reachable(a, b)
+        if connectivity.epoch != self._reach_epoch:
+            self._reach_epoch = connectivity.epoch
+            self._component_table = connectivity.component_table()
+            self._pair_cache.clear()
+        table = self._component_table
+        if table is not None:
+            return table.get(a, -1) == table.get(b, -1)
+        cache = self._pair_cache
+        key = (a, b)
+        answer = cache.get(key)
+        if answer is None:
+            answer = cache[key] = connectivity.is_reachable(a, b)
+        return answer
+
     def reachable(self, a: Address, b: Address) -> bool:
         """True when ``a`` and ``b`` are both up and not partitioned.
 
@@ -168,46 +287,108 @@ class Network:
             return False
         if not node_a.up or not node_b.up:
             return False
-        return a == b or self.connectivity.is_reachable(a, b)
+        return a == b or self._connected(a, b)
 
     # -- transmission -----------------------------------------------------------
     def send(self, src: Address, dst: Address, message: Any) -> None:
         """Fire-and-forget unicast from ``src`` to ``dst``."""
-        if src not in self.nodes:
+        nodes = self.nodes
+        src_node = nodes.get(src)
+        if src_node is None:
             raise ValueError(f"unknown source {src!r}")
-        if dst not in self.nodes:
+        if dst not in nodes:
             raise ValueError(f"unknown destination {dst!r}")
         self.messages_sent += 1
-        self.tracer.publish(
-            TraceKind.MSG_SENT, src, dst=dst, message_kind=type(message).__name__
-        )
-        src_node = self.nodes[src]
+        tracer = self.tracer
+        if tracer.wants(TraceKind.MSG_SENT):
+            tracer.publish(
+                TraceKind.MSG_SENT, src, dst=dst, message_kind=type(message).__name__
+            )
+        else:
+            tracer.bump(TraceKind.MSG_SENT)
         if not src_node.up:
             self._drop(src, dst, message, "source down")
             return
-        if src != dst and not self.connectivity.is_reachable(src, dst):
+        if src != dst and not self._connected(src, dst):
             self._drop(src, dst, message, "partitioned")
             return
-        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+        rng = self.rng
+        if self.loss_rate > 0 and rng.random() < self.loss_rate:
             self._drop(src, dst, message, "random loss")
             return
         copies = 1
-        if self.duplicate_rate > 0 and self.rng.random() < self.duplicate_rate:
+        if self.duplicate_rate > 0 and rng.random() < self.duplicate_rate:
             copies = 2
             self.messages_duplicated += 1
+        fixed = self._fixed_delay
+        env = self.env
         for _ in range(copies):
-            delay = self.latency.sample(self.rng, src, dst) if src != dst else 0.0
-            deliver = self.env.event()
-            deliver.add_callback(lambda _e: self._deliver(src, dst, message))
-            deliver._ok = True
-            deliver._value = None
-            deliver._triggered = True
-            self.env._schedule(deliver, delay)
+            if src == dst:
+                delay = 0.0
+            elif fixed is not None:
+                delay = fixed
+            else:
+                delay = self.latency.sample(rng, src, dst)
+            env._schedule(_Delivery(self, src, dst, message), delay)
 
     def multicast(self, src: Address, dsts: Iterable[Address], message: Any) -> None:
-        """Unreliable multicast: an independent unicast per destination."""
+        """Unreliable multicast: an independent unicast per destination.
+
+        With a constant-latency model every surviving copy lands at the
+        same instant, so the whole fan-out is batched into one queue
+        insertion; per-destination checks, drops, traces, and loss /
+        duplication draws still happen per destination, in order, and
+        delivery order is identical to the unbatched loop.
+        """
+        fixed = self._fixed_delay
+        dsts = list(dsts)
+        if fixed is None or src in dsts:
+            # Stochastic latency (per-destination delays differ) or a
+            # self-destination (delivered at zero delay): per-dst sends.
+            for dst in dsts:
+                self.send(src, dst, message)
+            return
+        nodes = self.nodes
+        src_node = nodes.get(src)
+        if src_node is None:
+            raise ValueError(f"unknown source {src!r}")
+        tracer = self.tracer
+        wants_sent = tracer.wants(TraceKind.MSG_SENT)
+        loss_rate = self.loss_rate
+        duplicate_rate = self.duplicate_rate
+        rng = self.rng
+        src_up = src_node.up
+        survivors: List[Address] = []
         for dst in dsts:
-            self.send(src, dst, message)
+            if dst not in nodes:
+                raise ValueError(f"unknown destination {dst!r}")
+            self.messages_sent += 1
+            if wants_sent:
+                tracer.publish(
+                    TraceKind.MSG_SENT,
+                    src,
+                    dst=dst,
+                    message_kind=type(message).__name__,
+                )
+            else:
+                tracer.bump(TraceKind.MSG_SENT)
+            if not src_up:
+                self._drop(src, dst, message, "source down")
+                continue
+            if not self._connected(src, dst):
+                self._drop(src, dst, message, "partitioned")
+                continue
+            if loss_rate > 0 and rng.random() < loss_rate:
+                self._drop(src, dst, message, "random loss")
+                continue
+            survivors.append(dst)
+            if duplicate_rate > 0 and rng.random() < duplicate_rate:
+                survivors.append(dst)
+                self.messages_duplicated += 1
+        if survivors:
+            self.env._schedule(
+                _MulticastDelivery(self, src, survivors, message), fixed
+            )
 
     def _deliver(self, src: Address, dst: Address, message: Any) -> None:
         dst_node = self.nodes.get(dst)
@@ -215,24 +396,35 @@ class Network:
             self._drop(src, dst, message, "destination down")
             return
         if self.recheck_on_delivery and src != dst:
-            if not self.connectivity.is_reachable(src, dst):
+            if not self._connected(src, dst):
                 self._drop(src, dst, message, "partitioned in flight")
                 return
         self.messages_delivered += 1
-        self.tracer.publish(
-            TraceKind.MSG_DELIVERED, dst, src=src, message_kind=type(message).__name__
-        )
+        tracer = self.tracer
+        if tracer.wants(TraceKind.MSG_DELIVERED):
+            tracer.publish(
+                TraceKind.MSG_DELIVERED,
+                dst,
+                src=src,
+                message_kind=type(message).__name__,
+            )
+        else:
+            tracer.bump(TraceKind.MSG_DELIVERED)
         dst_node.handle_message(src, message)
 
     def _drop(self, src: Address, dst: Address, message: Any, reason: str) -> None:
         self.messages_dropped += 1
-        self.tracer.publish(
-            TraceKind.MSG_DROPPED,
-            src,
-            dst=dst,
-            message_kind=type(message).__name__,
-            reason=reason,
-        )
+        tracer = self.tracer
+        if tracer.wants(TraceKind.MSG_DROPPED):
+            tracer.publish(
+                TraceKind.MSG_DROPPED,
+                src,
+                dst=dst,
+                message_kind=type(message).__name__,
+                reason=reason,
+            )
+        else:
+            tracer.bump(TraceKind.MSG_DROPPED)
 
     def __repr__(self) -> str:
         return (

@@ -64,17 +64,60 @@ def pair_key(a: str, b: str) -> Tuple[str, str]:
 
 
 class ConnectivityModel:
-    """Base class; ``attach`` is called once by the Network."""
+    """Base class; ``attach`` is called once by the Network.
+
+    Topology epoch
+    --------------
+    Every model except :class:`BernoulliPerMessage` answers reachability
+    from state that changes only at discrete events (a scripted toggle,
+    a renewal-process transition, a resample).  Such models carry a
+    monotonically increasing :attr:`epoch` and bump it on *every* state
+    transition; the :class:`~repro.sim.network.Network` caches
+    reachability answers and invalidates the cache whenever the epoch
+    moves, so the steady-state cost of a reachability check is two flat
+    table lookups instead of a model query per message.
+
+    Models whose state *is* a partition into components additionally
+    expose :meth:`component_table`: a flat ``address -> component-id``
+    mapping valid until the next epoch bump, under the convention that
+    unlisted addresses share the implicit component ``-1``.  Models with
+    per-link state (individual downed links, per-pair renewal processes)
+    return ``None`` and are served from a per-pair memo instead.
+
+    :attr:`cacheable` is False only for models whose answer is a fresh
+    random draw per query; the network bypasses the cache entirely for
+    those.
+    """
+
+    #: False when each reachability query is an independent random draw
+    #: (the answer cannot be cached between queries).
+    cacheable: bool = True
 
     def __init__(self) -> None:
         self.env: Optional[Environment] = None
         self.rng: Optional[random.Random] = None
         self.tracer: Optional[Tracer] = None
+        #: Monotonic topology-epoch counter; bumped on every transition.
+        self.epoch: int = 0
 
     def attach(self, env: Environment, rng: random.Random, tracer: Tracer) -> None:
         self.env = env
         self.rng = rng
         self.tracer = tracer
+
+    def bump_epoch(self) -> None:
+        """Invalidate cached reachability: the topology just changed."""
+        self.epoch += 1
+
+    def component_table(self) -> Optional[Dict[str, int]]:
+        """Flat ``address -> component-id`` map for the current epoch.
+
+        ``None`` when the current state is not expressible as a clean
+        partition into components (per-link exceptions, per-pair state);
+        the network then falls back to a per-pair memo.  Addresses
+        missing from the table share the implicit component ``-1``.
+        """
+        return None
 
     def is_reachable(self, a: str, b: str) -> bool:
         raise NotImplementedError
@@ -82,6 +125,9 @@ class ConnectivityModel:
 
 class FullConnectivity(ConnectivityModel):
     """No partitions, ever."""
+
+    def component_table(self) -> Dict[str, int]:
+        return {}  # everyone shares the implicit component
 
     def is_reachable(self, a: str, b: str) -> bool:
         return True
@@ -99,6 +145,9 @@ class StaticPartition(ConnectivityModel):
                 if address in self._component:
                     raise ValueError(f"address {address!r} appears in two groups")
                 self._component[address] = index
+
+    def component_table(self) -> Dict[str, int]:
+        return self._component
 
     def is_reachable(self, a: str, b: str) -> bool:
         ca = self._component.get(a, -1)
@@ -122,13 +171,23 @@ class ScriptedConnectivity(ConnectivityModel):
 
     def set_down(self, a: str, b: str) -> None:
         self._down.add(pair_key(a, b))
-        if self.tracer is not None:
-            self.tracer.publish(TraceKind.LINK_DOWN, "scripted", a=a, b=b)
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.wants(TraceKind.LINK_DOWN):
+                tracer.publish(TraceKind.LINK_DOWN, "scripted", a=a, b=b)
+            else:
+                tracer.bump(TraceKind.LINK_DOWN)
 
     def set_up(self, a: str, b: str) -> None:
         self._down.discard(pair_key(a, b))
-        if self.tracer is not None:
-            self.tracer.publish(TraceKind.LINK_UP, "scripted", a=a, b=b)
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.wants(TraceKind.LINK_UP):
+                tracer.publish(TraceKind.LINK_UP, "scripted", a=a, b=b)
+            else:
+                tracer.bump(TraceKind.LINK_UP)
 
     def isolate(self, address: str, others: Iterable[str]) -> None:
         """Cut every link between ``address`` and each of ``others``."""
@@ -149,16 +208,32 @@ class ScriptedConnectivity(ConnectivityModel):
             for address in group:
                 component[address] = index
         self._component = component
-        if self.tracer is not None:
-            self.tracer.publish(
-                TraceKind.PARTITION_STARTED, "scripted", groups=len(groups)
-            )
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.wants(TraceKind.PARTITION_STARTED):
+                tracer.publish(
+                    TraceKind.PARTITION_STARTED, "scripted", groups=len(groups)
+                )
+            else:
+                tracer.bump(TraceKind.PARTITION_STARTED)
 
     def heal(self) -> None:
         """Remove the grouping (individual downed links stay down)."""
         self._component = None
-        if self.tracer is not None:
-            self.tracer.publish(TraceKind.PARTITION_HEALED, "scripted")
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.wants(TraceKind.PARTITION_HEALED):
+                tracer.publish(TraceKind.PARTITION_HEALED, "scripted")
+            else:
+                tracer.bump(TraceKind.PARTITION_HEALED)
+
+    def component_table(self) -> Optional[Dict[str, int]]:
+        if self._down:
+            return None  # per-link exceptions break the component shape
+        component = self._component
+        return component if component is not None else {}
 
     def is_reachable(self, a: str, b: str) -> bool:
         if pair_key(a, b) in self._down:
@@ -172,6 +247,9 @@ class ScriptedConnectivity(ConnectivityModel):
 
 class BernoulliPerMessage(ConnectivityModel):
     """Each reachability query independently fails with probability pi."""
+
+    #: Every query is a fresh coin flip; caching would change the model.
+    cacheable = False
 
     def __init__(self, pi: float):
         super().__init__()
@@ -240,9 +318,14 @@ class PairEpochModel(ConnectivityModel):
                 duration = self.rng.expovariate(1.0 / self.mean_uptime)
             yield self.env.timeout(duration)
             state.down = not state.down
-            if self.tracer is not None:
+            self.bump_epoch()
+            tracer = self.tracer
+            if tracer is not None:
                 kind = TraceKind.LINK_DOWN if state.down else TraceKind.LINK_UP
-                self.tracer.publish(kind, "pair_epoch", a=key[0], b=key[1])
+                if tracer.wants(kind):
+                    tracer.publish(kind, "pair_epoch", a=key[0], b=key[1])
+                else:
+                    tracer.bump(kind)
 
     def is_reachable(self, a: str, b: str) -> bool:
         if self.pi == 0.0:
@@ -252,6 +335,7 @@ class PairEpochModel(ConnectivityModel):
     def force_resample(self) -> None:
         """Drop all lazily created pair state (fresh stationary draws)."""
         self._pairs.clear()
+        self.bump_epoch()
 
 
 class SampledConnectivity(ConnectivityModel):
@@ -285,6 +369,7 @@ class SampledConnectivity(ConnectivityModel):
         self.resamples += 1
         for key in self._down:
             self._down[key] = self.rng.random() < self.pi
+        self.bump_epoch()
 
     def is_reachable(self, a: str, b: str) -> bool:
         if self.pi == 0.0:
@@ -334,25 +419,43 @@ class DutyCycleModel(ConnectivityModel):
         # Start in the stationary distribution.
         if self.rng.random() < self.disconnected_fraction:
             self._disconnected.add(target)
+            self.bump_epoch()
         while True:
             if target in self._disconnected:
                 duration = self.rng.expovariate(1.0 / self.mean_disconnected)
             else:
                 duration = self.rng.expovariate(1.0 / self.mean_connected)
             yield self.env.timeout(duration)
+            tracer = self.tracer
             if target in self._disconnected:
                 self._disconnected.discard(target)
-                if self.tracer is not None:
-                    self.tracer.publish(TraceKind.LINK_UP, "duty_cycle", a=target, b="*")
+                self.bump_epoch()
+                if tracer is not None:
+                    if tracer.wants(TraceKind.LINK_UP):
+                        tracer.publish(TraceKind.LINK_UP, "duty_cycle", a=target, b="*")
+                    else:
+                        tracer.bump(TraceKind.LINK_UP)
             else:
                 self._disconnected.add(target)
-                if self.tracer is not None:
-                    self.tracer.publish(
-                        TraceKind.LINK_DOWN, "duty_cycle", a=target, b="*"
-                    )
+                self.bump_epoch()
+                if tracer is not None:
+                    if tracer.wants(TraceKind.LINK_DOWN):
+                        tracer.publish(
+                            TraceKind.LINK_DOWN, "duty_cycle", a=target, b="*"
+                        )
+                    else:
+                        tracer.bump(TraceKind.LINK_DOWN)
 
     def is_connected(self, target: str) -> bool:
         return target not in self._disconnected
+
+    def component_table(self) -> Dict[str, int]:
+        # Each disconnected node is its own island; everyone else shares
+        # the implicit component.  Sorted so the table is deterministic.
+        return {
+            address: index + 1
+            for index, address in enumerate(sorted(self._disconnected))
+        }
 
     def is_reachable(self, a: str, b: str) -> bool:
         return a not in self._disconnected and b not in self._disconnected
@@ -400,14 +503,37 @@ class GroupPartitionModel(ConnectivityModel):
             for index, address in enumerate(shuffled):
                 component[address] = index % self.n_groups
             self._component = component
-            if self.tracer is not None:
-                self.tracer.publish(
-                    TraceKind.PARTITION_STARTED, "group_model", groups=self.n_groups
-                )
+            self.bump_epoch()
+            tracer = self.tracer
+            if tracer is not None:
+                if tracer.wants(TraceKind.PARTITION_STARTED):
+                    tracer.publish(
+                        TraceKind.PARTITION_STARTED,
+                        "group_model",
+                        groups=self.n_groups,
+                    )
+                else:
+                    tracer.bump(TraceKind.PARTITION_STARTED)
             yield self.env.timeout(self.rng.expovariate(1.0 / self.mean_duration))
             self._component = None
-            if self.tracer is not None:
-                self.tracer.publish(TraceKind.PARTITION_HEALED, "group_model")
+            self.bump_epoch()
+            tracer = self.tracer
+            if tracer is not None:
+                if tracer.wants(TraceKind.PARTITION_HEALED):
+                    tracer.publish(TraceKind.PARTITION_HEALED, "group_model")
+                else:
+                    tracer.bump(TraceKind.PARTITION_HEALED)
+
+    def component_table(self) -> Dict[str, int]:
+        component = self._component
+        if component is None:
+            return {}
+        # ``is_reachable`` defaults unlisted addresses to group 0, so the
+        # flat table maps group 0 onto the implicit shared component -1.
+        return {
+            address: (group if group != 0 else -1)
+            for address, group in component.items()
+        }
 
     def is_reachable(self, a: str, b: str) -> bool:
         if self._component is None:

@@ -6,15 +6,43 @@ they care about.  Tracing is how every empirical number in
 EXPERIMENTS.md is measured, so the record vocabulary below is part of
 the reproduction's public surface.
 
-Records are cheap named tuples; a tracer with no subscribers costs one
-dict lookup per publish, so tracing can stay on in benchmarks.
+Hot-path contract
+-----------------
+Publishing sits on the per-message fast path (millions of calls per
+experiment sweep), so the API is layered by cost:
+
+* :meth:`Tracer.wants` — one set-membership test; True when *anything*
+  (a kind subscriber, a wildcard subscriber, or the in-memory log)
+  would observe a record of that kind.
+* :meth:`Tracer.bump` — count-only accounting for a kind nobody is
+  listening to.  Per-kind publish counts are part of the public surface
+  (``count``/``counts`` feed the fuzz-cell stats and several tests), so
+  guarded publishers must bump what they do not publish.
+* :meth:`Tracer.publish` — the full path: counts, record construction,
+  log retention, subscriber dispatch.
+
+Guarded publishers follow the idiom::
+
+    if tracer.wants(TraceKind.MSG_SENT):
+        tracer.publish(TraceKind.MSG_SENT, src, dst=dst, message_kind=...)
+    else:
+        tracer.bump(TraceKind.MSG_SENT)
+
+which keeps counts exact while never building the keyword-argument
+dict, the record, or expensive payload values for unobserved kinds.
+``publish`` alone remains correct (it counts and checks subscribers
+itself); the guard only removes the allocation.
+
+:class:`TraceRecord` is a ``__slots__`` dataclass and every
+:class:`TraceKind` constant is interned, so dispatch hashes and
+compares by pointer on the hot path.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, Iterable, List, Optional
-from collections import defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 __all__ = ["TraceRecord", "Tracer", "TraceKind"]
 
@@ -65,7 +93,16 @@ class TraceKind:
     PARTITION_HEALED = "partition_healed"
 
 
-@dataclass(frozen=True)
+# Intern every kind constant so hot-path dict/set lookups hash cached
+# strings and compare by identity.  (Literal kinds at call sites are
+# interned by the compiler; this pins the attribute values themselves.)
+for _name in list(vars(TraceKind)):
+    if _name.isupper():
+        setattr(TraceKind, _name, sys.intern(getattr(TraceKind, _name)))
+del _name
+
+
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One published trace record.
 
@@ -98,27 +135,47 @@ class Tracer:
     tests use for fine-grained assertions.
     """
 
+    __slots__ = ("env", "keep_log", "log", "_by_kind", "_wildcard", "_counts", "_all")
+
     def __init__(self, env, keep_log: bool = False):
         self.env = env
         self.keep_log = keep_log
         self.log: List[TraceRecord] = []
-        self._by_kind: DefaultDict[str, List[Subscriber]] = defaultdict(list)
+        self._by_kind: Dict[str, List[Subscriber]] = {}
         self._wildcard: List[Subscriber] = []
-        self._counts: DefaultDict[str, int] = defaultdict(int)
+        self._counts: Dict[str, int] = {}
+        # True when every kind is observed (wildcard subscriber or log).
+        self._all = keep_log
 
     def subscribe(self, kinds: Optional[Iterable[str]], subscriber: Subscriber) -> None:
         """Deliver records of the given ``kinds`` (or all, if None)."""
         if kinds is None:
             self._wildcard.append(subscriber)
+            self._all = True
         else:
             for kind in kinds:
-                self._by_kind[kind].append(subscriber)
+                self._by_kind.setdefault(sys.intern(kind), []).append(subscriber)
+
+    def wants(self, kind: str) -> bool:
+        """True when a record of ``kind`` would be observed by anyone.
+
+        The guard half of the guarded-publish idiom (see the module
+        docstring); a publisher that skips ``publish`` on a False
+        answer must call :meth:`bump` instead to keep counts exact.
+        """
+        return self._all or kind in self._by_kind
+
+    def bump(self, kind: str, n: int = 1) -> None:
+        """Count ``n`` records of ``kind`` without constructing them."""
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + n
 
     def publish(self, kind: str, source: str, **data: Any) -> None:
         """Publish a record stamped with the current simulated time."""
-        self._counts[kind] += 1
+        counts = self._counts
+        counts[kind] = counts.get(kind, 0) + 1
         subscribers = self._by_kind.get(kind)
-        if not subscribers and not self._wildcard and not self.keep_log:
+        if not subscribers and not self._all:
             return  # fast path: nobody is listening
         record = TraceRecord(time=self.env.now, kind=kind, source=source, data=data)
         if self.keep_log:
@@ -131,7 +188,7 @@ class Tracer:
 
     def count(self, kind: str) -> int:
         """Number of records of ``kind`` published so far (log-independent)."""
-        return self._counts[kind]
+        return self._counts.get(kind, 0)
 
     def counts(self) -> Dict[str, int]:
         """Copy of all per-kind publish counts."""

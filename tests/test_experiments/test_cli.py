@@ -1,0 +1,63 @@
+"""CLI surface: subcommand dispatch and the ``--profile`` flag."""
+
+from __future__ import annotations
+
+import pstats
+
+from repro.experiments.cli import main
+
+
+class TestProfileFlag:
+    def test_experiments_profile_writes_prof(self, tmp_path, capsys):
+        rc = main(["table1", "--profile", "--out", str(tmp_path)])
+        assert rc == 0
+        prof = tmp_path / "repro-experiments.prof"
+        assert prof.exists()
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls > 0
+        assert f"profile written to {prof}" in capsys.readouterr().out
+
+    def test_fuzz_profile_writes_prof(self, tmp_path):
+        rc = main(
+            ["fuzz", "--cells", "1", "--profile", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        prof = tmp_path / "repro-fuzz.prof"
+        assert prof.exists()
+        assert pstats.Stats(str(prof)).total_calls > 0
+
+    def test_no_profile_leaves_no_dump(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(["table1"])
+        assert rc == 0
+        assert not (tmp_path / "repro-experiments.prof").exists()
+
+
+class TestBenchDispatch:
+    def test_bench_subcommand_runs_and_profiles(self, tmp_path, capsys):
+        rc = main(
+            [
+                "bench",
+                "cache_hit_checks",
+                "--quick",
+                "--repeats",
+                "1",
+                "--profile",
+                "--out",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "missing-baseline.json"),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "repro-bench.prof").exists()
+        assert (tmp_path / "BENCH_1.json").exists()
+        out = capsys.readouterr().out
+        assert "cache_hit_checks" in out
+        assert "no baseline" in out
+
+    def test_bench_list(self, capsys):
+        rc = main(["bench", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "msg_send_deliver" in out

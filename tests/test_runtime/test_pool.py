@@ -135,6 +135,18 @@ class TestRunMode:
         assert results == [i * i for i in range(6)]
         assert last_run_mode() == "inline-fallback"
 
+    def test_fallback_warning_names_exception_class(self, monkeypatch):
+        from repro.runtime import pool
+
+        def denied(*args, **kwargs):
+            raise PermissionError("no subprocesses here")
+
+        monkeypatch.setattr(pool, "ProcessPoolExecutor", denied)
+        with pytest.warns(
+            RuntimeWarning, match=r"PermissionError: no subprocesses here"
+        ):
+            run_parallel(_square, [(i,) for i in range(4)], jobs=4)
+
 
 class TestRunTrials:
     def test_passes_config_trials_seed(self):
