@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-slow lint fuzz bench bench-smoke bench-baseline bench-compare experiments examples all clean
+.PHONY: install test test-slow lint fuzz bench bench-smoke bench-baseline bench-compare profile experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -12,7 +12,7 @@ test-slow:
 	PYTHONPATH=src python -m pytest -q -m slow
 
 lint:
-	ruff check src/repro/core src/repro/protocols src/repro/sim src/repro/metrics
+	ruff check src/repro/core src/repro/protocols src/repro/sim src/repro/metrics src/repro/runtime src/repro/workloads
 	mypy
 
 fuzz:
@@ -29,6 +29,11 @@ bench-baseline:
 
 bench-compare:
 	PYTHONPATH=src python -m repro bench --repeats 5
+
+# cProfile the message-heaviest bench cell; stats land in
+# benchmarks/repro-bench.prof (readable with `python -m pstats`).
+profile:
+	PYTHONPATH=src python -m repro bench cell_quorum --quick --profile --no-artifact
 
 experiments:
 	PYTHONPATH=src python -m repro.experiments.cli

@@ -23,11 +23,12 @@ issued during the partition still reaches its update quorum.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.policy import AccessPolicy, ExhaustedAction
 from ..core.rights import Right
 from ..core.system import AccessControlSystem
+from ..runtime import run_trials
 from ..sim.network import FixedLatency
 from ..sim.partitions import ScriptedConnectivity
 from .base import ExperimentResult
@@ -131,12 +132,19 @@ def measure_phases(
     return phases, revoke_quorum_before_heal
 
 
-def run(seed: int = 0) -> ExperimentResult:
+def _measure_strategy(use_freeze: bool, _trials: int, seed: int) -> Tuple[dict, bool]:
+    """One coordination strategy — the unit of parallel dispatch."""
+    return measure_phases(use_freeze, seed=seed)
+
+
+def run(seed: int = 0, jobs: Optional[int] = 1) -> ExperimentResult:
     rows: List[List] = []
     quorum_revokes = {}
-    for use_freeze in (False, True):
+    results = run_trials(
+        _measure_strategy, [False, True], trials=1, seed=seed, jobs=jobs
+    )
+    for use_freeze, (phases, revoked) in zip((False, True), results):
         name = "freeze (Ti=30)" if use_freeze else "quorum (C=2)"
-        phases, revoked = measure_phases(use_freeze, seed=seed)
         quorum_revokes[name] = revoked
         for phase in ("before", "during", "after"):
             fraction, count = phases[phase]

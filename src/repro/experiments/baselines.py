@@ -30,11 +30,8 @@ from ..baselines.local_only import LocalOnlySystem
 from ..baselines.temporal_auth import TemporalAuthSystem
 from ..core.policy import AccessPolicy, ExhaustedAction
 from ..core.system import AccessControlSystem
-from ..metrics.collectors import (
-    MessageCountCollector,
-    availability_report,
-    overhead_report,
-)
+from ..metrics.collectors import MessageCountCollector, overhead_report
+from ..metrics.streaming import AvailabilityAccumulator, StalenessAccumulator
 from ..runtime import run_trials
 from ..sim.partitions import PairEpochModel
 from ..workloads.generators import AccessWorkload, AuthorizationOracle, UpdateWorkload
@@ -106,9 +103,32 @@ def run_one(
         system.seed_grant("app", user)
         oracle.grant("app", user)
     collector = MessageCountCollector(system.tracer)
-    access = AccessWorkload(
+    # Streaming collection: exact counters for PA, plus the staleness
+    # candidates that the (final) oracle classifies after the run —
+    # identical numbers to the old end-of-run list scans, without the
+    # O(observations) list.
+    availability = AvailabilityAccumulator()
+    staleness = StalenessAccumulator()
+
+    def observe(observed):
+        availability.observe(
+            observed.authorized,
+            observed.decision.allowed,
+            observed.decision.latency,
+        )
+        staleness.observe(
+            observed.application,
+            observed.user,
+            observed.time,
+            observed.decision.latency,
+            observed.decision.allowed,
+            observed.authorized,
+        )
+
+    AccessWorkload(
         system, "app", population, oracle,
         rate=access_rate, rng=system.streams.stream("access-workload"),
+        on_decision=observe, keep_observations=False,
     )
     UpdateWorkload(
         system, "app", population, oracle,
@@ -117,16 +137,8 @@ def run_one(
     )
     system.run(until=duration)
 
-    report = availability_report(access.observations)
-    grace = violations = 0
-    for observed in access.observations:
-        if not observed.decision.allowed or observed.authorized:
-            continue
-        decided_at = observed.time + observed.decision.latency
-        if oracle.violation(observed.application, observed.user, decided_at):
-            violations += 1
-        elif oracle.in_grace(observed.application, observed.user, decided_at):
-            grace += 1
+    report = availability.report()
+    grace, violations = staleness.finalize(oracle)
     overhead = overhead_report(collector, duration)
     return [
         name,

@@ -10,7 +10,11 @@ solve the problem is to increase the cardinality of this set."
 
 from __future__ import annotations
 
+import operator
+from typing import List, Optional, Tuple
+
 from ..analysis.quorum_math import availability, security
+from ..runtime import run_trials
 from .base import ExperimentResult
 
 __all__ = ["run", "PAPER_TABLE2"]
@@ -37,18 +41,31 @@ ROW_ORDER = [
 ]
 
 
-def run(pis=(0.1, 0.2)) -> ExperimentResult:
+def _table_row(
+    config: Tuple[int, int, Tuple[float, ...]], _trials: int, _seed: int
+) -> List[List]:
+    """One (M, C) row of the table — the unit of parallel dispatch."""
+    m, c, pis = config
+    row = [m, c]
+    for pi in pis:
+        row += [availability(m, c, pi), security(m, c, pi)]
+    return [row]
+
+
+def run(pis=(0.1, 0.2), jobs: Optional[int] = 1) -> ExperimentResult:
     """Regenerate Table 2 (the (4,2) row appears in both halves, as
     printed in the paper)."""
     columns = ["M", "C"]
     for pi in pis:
         columns += [f"PA(C) Pi={pi}", f"PS(C) Pi={pi}"]
-    rows = []
-    for m, c in ROW_ORDER:
-        row = [m, c]
-        for pi in pis:
-            row += [availability(m, c, pi), security(m, c, pi)]
-        rows.append(row)
+    rows = run_trials(
+        _table_row,
+        [(m, c, tuple(pis)) for m, c in ROW_ORDER],
+        trials=1,
+        seed=0,
+        jobs=jobs,
+        reduce=operator.add,
+    )
     return ExperimentResult(
         experiment_id="table2",
         title="Effects of M and C on availability and security (paper Table 2)",

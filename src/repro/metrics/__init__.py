@@ -13,15 +13,31 @@ from .collectors import (
     security_report,
 )
 from .estimators import SummaryStats, percentile, summarize, wilson_interval
+from .streaming import (
+    AvailabilityAccumulator,
+    ExactSum,
+    LatencyAccumulator,
+    Mergeable,
+    OverheadAccumulator,
+    StalenessAccumulator,
+    StreamingSummary,
+)
 from .timeline import TimelinePoint, availability_timeline, sparkline
 
 __all__ = [
     "CONTROL_MESSAGE_KINDS",
+    "AvailabilityAccumulator",
     "AvailabilityReport",
+    "ExactSum",
+    "LatencyAccumulator",
+    "Mergeable",
     "MessageCountCollector",
+    "OverheadAccumulator",
     "OverheadReport",
     "QuorumLatencyCollector",
     "SecurityReport",
+    "StalenessAccumulator",
+    "StreamingSummary",
     "SummaryStats",
     "TimelinePoint",
     "availability_report",

@@ -22,6 +22,7 @@ The empirical counterparts of the paper's quantities:
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -154,6 +155,7 @@ class QuorumLatencyCollector:
         self.grants = grants
         self.revokes = revokes
         self.latencies: List[float] = []
+        self._sorted: List[float] = []  # insort-maintained for timely()
         self.reached = 0
         tracer.subscribe([TraceKind.UPDATE_QUORUM_REACHED], self._on_record)
 
@@ -164,10 +166,14 @@ class QuorumLatencyCollector:
         if not is_grant and not self.revokes:
             return
         self.reached += 1
-        self.latencies.append(record.data["elapsed"])
+        elapsed = record.data["elapsed"]
+        self.latencies.append(elapsed)
+        insort(self._sorted, elapsed)
 
     def timely(self, bound: float) -> int:
-        return sum(1 for latency in self.latencies if latency <= bound)
+        """Latencies ``<= bound`` — O(log n) against the sorted mirror
+        instead of a full re-scan per call."""
+        return bisect_right(self._sorted, bound)
 
 
 def security_report(

@@ -140,12 +140,19 @@ class DisseminationStrategy:
         return ()
 
     def disseminate(self, manager, pending: PendingUpdate, policy: AccessPolicy):
-        """Persistent dissemination: retry unacked peers forever."""
+        """Persistent dissemination: retry unacked peers forever.
+
+        The pacing timer races against ``done_event`` so the last ack
+        releases the loop immediately and the losing timer is elided
+        from the heap instead of firing into a finished update.
+        """
         message = UpdateMsg(update=pending.update)
         while pending.unacked:
             if manager.up:
                 manager.multicast(sorted(pending.unacked), message)
-            yield manager.env.timeout(policy.update_retry_interval)
+            timer = manager.env.timeout(policy.update_retry_interval)
+            yield manager.env.any_of([pending.done_event, timer])
+            timer.cancel()
 
     def check_progress(self, manager, pending: PendingUpdate) -> None:
         """Fire the quorum / completion events as acks arrive."""

@@ -99,6 +99,9 @@ def request(
     timer = node.env.timeout(timeout)
     yield node.env.any_of([arrival, timer])
     table.discard(request_id)
+    # Belt and braces with the Condition's loser-detach: an elided dead
+    # timer is skipped by the run loop instead of churning the heap.
+    timer.cancel()
     if arrival.triggered and arrival.ok:
         return arrival.value
     return None
@@ -127,3 +130,4 @@ def retry_until_acked(
                 on_sent()
         timer = node.env.timeout(interval)
         yield node.env.any_of([acked, timer])
+        timer.cancel()  # dead on the ack path; no-op when the timer won

@@ -112,6 +112,7 @@ class ParallelPlanner(QueryPlanner):
                 tracer.bump(TraceKind.QUERY_SENT)
         timer = host.env.timeout(policy.query_timeout)
         yield host.env.any_of([done, timer])
+        timer.cancel()  # dead once the quorum won the race
         for qid in query_ids:  # discard late responses
             host._pending_queries.discard(qid)
         return responses

@@ -29,9 +29,11 @@ seed is a pure function of the master seed and the unit's index, and
 results are re-ordered by index before they are returned.
 """
 
-from .merge import MergeError, merge_counts, merge_ordered
+from .merge import MergeError, combine_partials, merge_counts, merge_ordered
 from .pool import (
     available_cpus,
+    last_ipc_bytes,
+    last_run_mode,
     resolve_jobs,
     run_parallel,
     run_replications,
@@ -42,6 +44,9 @@ from .seeds import seed_sequence, trial_seed, trial_streams
 __all__ = [
     "MergeError",
     "available_cpus",
+    "combine_partials",
+    "last_ipc_bytes",
+    "last_run_mode",
     "merge_counts",
     "merge_ordered",
     "resolve_jobs",

@@ -67,13 +67,6 @@ __all__ = [
     "StopSimulation",
 ]
 
-#: Scheduling priority for events that must run before ordinary events at
-#: the same timestamp (currently only used internally by ``Environment``).
-PRIORITY_URGENT = 0
-#: Default scheduling priority.
-PRIORITY_NORMAL = 1
-
-
 class SimulationError(Exception):
     """Raised for misuse of the simulation API."""
 
@@ -108,6 +101,11 @@ class Event:
 
     #: Sentinel for "no value yet".
     _PENDING = object()
+
+    #: Dead-entry flag read by the run loop on every pop.  Only
+    #: :class:`Timeout` carries a per-instance slot for it; every other
+    #: event reads this class attribute and is never elided.
+    _cancelled = False
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -215,9 +213,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated time units after creation."""
+    """An event that fires ``delay`` simulated time units after creation.
 
-    __slots__ = ("delay",)
+    A Timeout that lost a race (``any_of([reply, timer])``) can be
+    *cancelled*: the heap entry stays queued, but it is marked dead and
+    the run loop pops it without processing.  Cancellation never changes
+    observable behaviour — a cancelled Timeout has no waiter and no
+    callbacks by construction, so processing it would have been a no-op.
+    """
+
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
@@ -233,8 +238,32 @@ class Timeout(Event):
         self._processed = False
         self._waiter = None
         self._callbacks = None
+        self._cancelled = False
         self.delay = delay
         env._schedule(self, delay)
+
+    def cancel(self) -> bool:
+        """Mark this Timeout dead so the run loop skips its heap entry.
+
+        Legal only while *nothing* observes the timer: a Timeout with a
+        parked waiter or registered callbacks must still fire, and a
+        processed one already has.  Returns True when the entry is (now
+        or already) elided, False when it cannot be.  A no-op returning
+        False when the environment was created with
+        ``elide_dead_timers=False``, so one flag disables the whole
+        elision machinery.
+        """
+        if self._cancelled:
+            return True
+        if (
+            not self.env._elide
+            or self._processed
+            or self._waiter is not None
+            or self._callbacks
+        ):
+            return False
+        self._cancelled = True
+        return True
 
 
 class _Bootstrap:
@@ -249,6 +278,7 @@ class _Bootstrap:
 
     _ok = True
     _value: Any = None
+    _cancelled = False
 
     def __init__(self, process: "Process"):
         self._waiter = process
@@ -314,6 +344,15 @@ class Process(Event):
                         target._callbacks.remove(self._resume)
                     except ValueError:
                         pass
+                # A Timeout nobody else observes is dead weight on the
+                # heap now — mark it so the run loop skips it.
+                if (
+                    type(target) is Timeout
+                    and target._waiter is None
+                    and not target._callbacks
+                    and self.env._elide
+                ):
+                    target._cancelled = True
             self._target = None
         interrupt_event.add_callback(self._resume)
         self.env._schedule(interrupt_event, 0.0)
@@ -427,9 +466,39 @@ class Condition(Event):
             return
         if not event._ok:
             self.fail(event._value)
-            return
-        self._pending -= 1
-        self._evaluate(event)
+        else:
+            self._pending -= 1
+            self._evaluate(event)
+        if self._triggered and self.env._elide:
+            self._detach_losers()
+
+    def _detach_losers(self) -> None:
+        """Unhook ``_check`` from sub-events that lost the race.
+
+        Called once, at trigger time.  The winning event is already
+        processed (``_process`` marks itself before running callbacks),
+        so only losers are touched: their ``_check`` registration is
+        removed, and a losing *fresh* Timeout — no waiter, no remaining
+        callbacks — is additionally cancelled so the run loop pops it
+        dead instead of processing it.  Pure elision: ``_check`` on a
+        triggered condition was a no-op anyway, and a fresh Timeout's
+        processing had nobody to notify.
+        """
+        for event in self._events:
+            if event._processed:
+                continue
+            callbacks = event._callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._check)
+                except ValueError:
+                    pass
+            if (
+                type(event) is Timeout
+                and event._waiter is None
+                and not event._callbacks
+            ):
+                event._cancelled = True
 
     def _results(self) -> ConditionValue:
         """Lazy mapping of each already-processed sub-event to its value.
@@ -472,13 +541,27 @@ class Environment:
     the order they were scheduled.  Simulated time is a ``float`` in
     arbitrary units; the reproduction's protocol code treats the unit as
     one second.
+
+    ``elide_dead_timers`` (default True) enables dead-timer elision:
+    Timeouts that lost an ``any_of`` race (or were explicitly
+    ``cancel()``-ed while unobserved) are popped from the heap without
+    being processed.  Elision is behaviour-preserving — a dead timer has
+    no waiter and no callbacks, so processing it was a no-op — and time
+    still advances over dead pops exactly as it did when they were
+    processed.  ``dead_pops`` counts them (the benchmark suite asserts
+    the machinery is actually engaged on protocol workloads); pass
+    ``elide_dead_timers=False`` to disable the whole mechanism, which
+    the equivalence property test uses as its reference.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, elide_dead_timers: bool = True):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._eid = itertools.count()
         self._active = False
+        self._elide = bool(elide_dead_timers)
+        #: Number of dead (cancelled) entries popped unprocessed so far.
+        self.dead_pops = 0
 
     @property
     def now(self) -> float:
@@ -509,21 +592,33 @@ class Environment:
         return AllOf(self, events)
 
     # -- scheduling ---------------------------------------------------------
-    def _schedule(self, event: Event, delay: float, priority: int = PRIORITY_NORMAL) -> None:
+    def _schedule(self, event: Event, delay: float) -> None:
+        # Heap entries are (time, eid, event) 3-tuples: same-timestamp
+        # ties break on the monotonically increasing eid, i.e. strictly
+        # by scheduling order.  (A priority field used to sit between
+        # time and eid, but no caller ever varied it.)
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Pop exactly one queue entry, advancing time to it.
+
+        A dead (cancelled) entry is popped and counted but not
+        processed — identical observable behaviour, since a dead timer
+        resumes nobody.
+        """
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _eid, event = heapq.heappop(self._queue)
         self._now = when
+        if event._cancelled:
+            self.dead_pops += 1
+            return
         event._process()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -548,13 +643,19 @@ class Environment:
             pop = heapq.heappop
             if until is None:
                 while queue:
-                    when, _priority, _eid, event = pop(queue)
+                    when, _eid, event = pop(queue)
                     self._now = when
+                    if event._cancelled:
+                        self.dead_pops += 1
+                        continue
                     event._process()
             else:
                 while queue and queue[0][0] <= until:
-                    when, _priority, _eid, event = pop(queue)
+                    when, _eid, event = pop(queue)
                     self._now = when
+                    if event._cancelled:
+                        self.dead_pops += 1
+                        continue
                     event._process()
                 self._now = max(self._now, until)
         finally:

@@ -134,6 +134,8 @@ class _Delivery:
 
     __slots__ = ("network", "src", "dst", "message")
 
+    _cancelled = False  # read by the engine's dead-entry check on pop
+
     def __init__(self, network: "Network", src: Address, dst: Address, message: Any):
         self.network = network
         self.src = src
@@ -153,6 +155,8 @@ class _MulticastDelivery:
     """
 
     __slots__ = ("network", "src", "dsts", "message")
+
+    _cancelled = False  # read by the engine's dead-entry check on pop
 
     def __init__(
         self, network: "Network", src: Address, dsts: List[Address], message: Any

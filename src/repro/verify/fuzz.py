@@ -243,6 +243,9 @@ def run_cell(
         population,
         oracle,
         rate=spec.access_rate,
+        # The oracles subscribe to the tracer; the per-decision list is
+        # never read, only its length — the counter covers that.
+        keep_observations=False,
     )
     updates = UpdateWorkload(
         system,
@@ -281,7 +284,7 @@ def run_cell(
 
     counts = system.tracer.counts()
     stats = {kind: counts.get(kind, 0) for kind in _STAT_KINDS}
-    stats["observations"] = len(access.observations)
+    stats["observations"] = access.decisions
     stats["adds"] = updates.adds
     stats["revokes"] = updates.revokes
     violations = tuple(v.as_dict() for v in checker.violations)

@@ -101,6 +101,7 @@ class AccessWorkload:
         rng: Optional[random.Random] = None,
         hosts: Optional[Sequence[AccessControlHost]] = None,
         on_decision: Optional[Callable[[ObservedDecision], None]] = None,
+        keep_observations: bool = True,
     ):
         if rate <= 0:
             raise ValueError("access rate must be positive")
@@ -114,8 +115,14 @@ class AccessWorkload:
         if not self.hosts:
             raise ValueError("workload needs at least one host")
         self.on_decision = on_decision
+        #: ``keep_observations=False`` turns off the per-decision list —
+        #: streaming consumers subscribe via ``on_decision`` instead and
+        #: memory stays O(1) in simulated traffic.  ``decisions`` counts
+        #: completed decisions either way.
+        self.keep_observations = keep_observations
         self.observations: List[ObservedDecision] = []
         self.attempts = 0
+        self.decisions = 0
         self._process = system.env.process(self._drive(), name="access-workload")
 
     def _drive(self):
@@ -147,7 +154,9 @@ class AccessWorkload:
             decision=decision,
             authorized=authorized,
         )
-        self.observations.append(observed)
+        self.decisions += 1
+        if self.keep_observations:
+            self.observations.append(observed)
         if self.on_decision is not None:
             self.on_decision(observed)
 
@@ -174,6 +183,8 @@ class FlashCrowdWorkload:
         think_time: float = 2.0,
         rng: Optional[random.Random] = None,
         hosts: Optional[Sequence[AccessControlHost]] = None,
+        on_decision: Optional[Callable[[ObservedDecision], None]] = None,
+        keep_observations: bool = True,
     ):
         if accesses_per_user < 1:
             raise ValueError("each user must access at least once")
@@ -188,7 +199,10 @@ class FlashCrowdWorkload:
         self.think_time = think_time
         self.rng = rng or system.streams.stream("flash-crowd")
         self.hosts = list(hosts) if hosts is not None else list(system.hosts)
+        self.on_decision = on_decision
+        self.keep_observations = keep_observations
         self.observations: List[ObservedDecision] = []
+        self.decisions = 0
         self.done = system.env.event()
         self._remaining = len(self.users)
         system.env.process(self._drive(), name="flash-crowd")
@@ -212,16 +226,19 @@ class FlashCrowdWorkload:
             decision = yield host.request_access(
                 self.application, user, Right.USE
             )
-            self.observations.append(
-                ObservedDecision(
-                    time=started,
-                    host=host.address,
-                    user=user,
-                    application=self.application,
-                    decision=decision,
-                    authorized=authorized,
-                )
+            observed = ObservedDecision(
+                time=started,
+                host=host.address,
+                user=user,
+                application=self.application,
+                decision=decision,
+                authorized=authorized,
             )
+            self.decisions += 1
+            if self.keep_observations:
+                self.observations.append(observed)
+            if self.on_decision is not None:
+                self.on_decision(observed)
             if self.think_time > 0:
                 yield env.timeout(self.think_time)
         self._remaining -= 1

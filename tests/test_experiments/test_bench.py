@@ -158,3 +158,75 @@ class TestMainGate:
         recorded = json.loads(baseline.read_text())
         assert recorded["schema"] == BENCH_SCHEMA
         assert recorded["benchmarks"]["reachable"]["best"] > 0
+
+
+class TestNewCells:
+    def test_sweep_reduce_meta_proves_ipc_saving(self):
+        document = run_suite(quick=True, repeats=1, names=["sweep_reduce"])
+        meta = document["benchmarks"]["sweep_reduce"]["meta"]
+        assert meta["observations"] > 0
+        assert meta["bytes_reduced"] < meta["bytes_raw"]
+        # The acceptance bar baked into the cell itself.
+        assert meta["ipc_ratio"] >= 2.0
+
+    def test_timer_elision_meta_counts_dead_pops(self):
+        document = run_suite(quick=True, repeats=1, names=["timer_elision"])
+        meta = document["benchmarks"]["timer_elision"]["meta"]
+        assert meta["dead_pops"] == meta["races"] > 0
+
+
+class TestRetryGate:
+    def test_flagged_regression_is_remeasured_then_fails(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "benchmarks": {"reachable": {"median": 1e-9, "best": 1e-9}},
+                }
+            )
+        )
+        rc = main(
+            [
+                "reachable",
+                "--quick",
+                "--repeats",
+                "1",
+                "--retries",
+                "2",
+                "--baseline",
+                str(baseline),
+                "--no-artifact",
+            ]
+        )
+        out = capsys.readouterr().out
+        # An impossible baseline cannot be cleared by re-measurement:
+        # both retry passes run, then the gate still fails.
+        assert rc == 1
+        assert "retry 1/2" in out and "retry 2/2" in out
+
+    def test_retries_zero_skips_remeasurement(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "benchmarks": {"reachable": {"median": 1e-9, "best": 1e-9}},
+                }
+            )
+        )
+        rc = main(
+            [
+                "reachable",
+                "--quick",
+                "--repeats",
+                "1",
+                "--retries",
+                "0",
+                "--baseline",
+                str(baseline),
+                "--no-artifact",
+            ]
+        )
+        assert rc == 1
+        assert "retry" not in capsys.readouterr().out

@@ -267,6 +267,34 @@ class TestCachingExperiment:
         )
 
 
+class TestJobsInvariance:
+    """Migrated in-worker-reduce runners: ``jobs=N`` must render
+    byte-identically to the sequential fold for every experiment that
+    grew a ``reduce=`` path."""
+
+    @pytest.mark.parametrize(
+        "module, kwargs",
+        [
+            (figure5, dict(m=4, pi=0.1)),
+            (table1, dict(m=4, pis=(0.1,))),
+            (table2, dict(pis=(0.1,))),
+            (ablations, dict(seed=0)),
+        ],
+        ids=["figure5", "table1", "table2", "ablations"],
+    )
+    def test_render_identical_across_jobs(self, module, kwargs):
+        sequential = module.run(**kwargs, jobs=1)
+        pooled = module.run(**kwargs, jobs=4)
+        assert pooled.render() == sequential.render()
+
+    def test_weighted_argmax_reduce_identical_across_jobs(self):
+        from repro.experiments import weighted
+
+        sequential = weighted.run(m=4, jobs=1)
+        pooled = weighted.run(m=4, jobs=4)
+        assert pooled.render() == sequential.render()
+
+
 class TestCli:
     def test_list(self, capsys):
         from repro.experiments.cli import main

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.core.host import AccessDecision, DecisionReason
@@ -163,3 +165,55 @@ class TestLatencyByReason:
 
     def test_empty(self):
         assert latency_by_reason([]) == {}
+
+
+class TestQuorumLatencyTimely:
+    """Regression for the O(n) per-call re-scan: ``timely`` now answers
+    from an insort-maintained sorted mirror and must keep agreeing with
+    the naive linear count for arbitrary arrival orders."""
+
+    def _fill(self, tracer, latencies):
+        collector = QuorumLatencyCollector(tracer)
+        for latency in latencies:
+            tracer.publish(
+                TraceKind.UPDATE_QUORUM_REACHED, "m0",
+                elapsed=latency, grant=False,
+            )
+        return collector
+
+    def test_matches_linear_scan_for_unsorted_arrivals(self, env, tracer):
+        rng = random.Random(13)
+        latencies = [rng.uniform(0.0, 10.0) for _ in range(200)]
+        collector = self._fill(tracer, latencies)
+        for bound in (0.0, 0.5, 3.3, 5.0, 9.99, 20.0):
+            assert collector.timely(bound) == sum(
+                1 for latency in latencies if latency <= bound
+            )
+
+    def test_bound_is_inclusive(self, env, tracer):
+        collector = self._fill(tracer, [1.0, 2.0, 2.0, 3.0])
+        assert collector.timely(2.0) == 3
+
+    def test_arrival_order_preserved_in_latencies(self, env, tracer):
+        # The sorted mirror must not disturb the public arrival-order
+        # list that summarize() and existing callers rely on.
+        arrivals = [5.0, 1.0, 3.0]
+        collector = self._fill(tracer, arrivals)
+        assert collector.latencies == arrivals
+        assert collector.timely(3.0) == 2
+
+    def test_interleaved_queries_stay_consistent(self, env, tracer):
+        collector = QuorumLatencyCollector(tracer)
+        seen = []
+        rng = random.Random(7)
+        for _ in range(50):
+            latency = rng.uniform(0.0, 4.0)
+            tracer.publish(
+                TraceKind.UPDATE_QUORUM_REACHED, "m0",
+                elapsed=latency, grant=False,
+            )
+            seen.append(latency)
+            bound = rng.uniform(0.0, 4.0)
+            assert collector.timely(bound) == sum(
+                1 for value in seen if value <= bound
+            )

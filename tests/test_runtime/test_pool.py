@@ -6,13 +6,24 @@ returns exactly what ``jobs=1`` returns, for any ``N``.
 
 from __future__ import annotations
 
+import functools
+import operator
+import time
+
 import pytest
 
 from repro.experiments.validation import simulate_cell
-from repro.runtime.merge import MergeError, merge_counts, merge_ordered
+from repro.metrics.streaming import StreamingSummary
+from repro.runtime.merge import (
+    MergeError,
+    combine_partials,
+    merge_counts,
+    merge_ordered,
+)
 from repro.runtime.pool import (
     _chunked,
     available_cpus,
+    last_ipc_bytes,
     last_run_mode,
     resolve_jobs,
     run_parallel,
@@ -39,6 +50,38 @@ def _boom(x):
 
 def _config_cell(config, trials, seed):
     return (config, trials, seed)
+
+
+def _token(x):
+    return f"<{x}>"
+
+
+def _wide_row(x):
+    # A deliberately bulky per-task result so the reduce path's IPC
+    # saving is visible in pickled bytes.
+    return [(x, float(x))] * 64
+
+
+def _summary_of(trial_index, seed):
+    summary = StreamingSummary(seed=seed, capacity=64)
+    summary.add(float(trial_index))
+    summary.add(float(trial_index) * 0.5)
+    return summary
+
+
+def _merge_summaries(a, b):
+    return a.merge(b)
+
+
+def _keep_first(a, _b):
+    return a
+
+
+def _sleep_or_boom(x):
+    if x == 0:
+        raise RuntimeError(f"boom {x}")
+    time.sleep(4.0)
+    return x
 
 
 class TestResolveJobs:
@@ -93,6 +136,115 @@ class TestRunParallel:
     def test_worker_exception_propagates_from_pool(self):
         with pytest.raises(RuntimeError, match="boom"):
             run_parallel(_boom, [(i,) for i in range(8)], jobs=2)
+
+    def test_first_failure_propagates_without_draining(self):
+        # Fail-fast satellite: the failing chunk's exception must reach
+        # the caller promptly, not after every surviving chunk finished
+        # its 4-second sleep (draining 7 sleepers over 2 workers would
+        # take ~16s).
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="boom 0"):
+            run_parallel(
+                _sleep_or_boom, [(i,) for i in range(8)], jobs=2, chunk_size=1
+            )
+        assert time.monotonic() - started < 3.0
+
+
+class TestReducePath:
+    """``reduce=`` folds in-worker; pooled folds equal sequential ones."""
+
+    def test_inline_fold_matches_functools_reduce(self):
+        tasks = [(i,) for i in range(20)]
+        expected = functools.reduce(operator.add, [i * i for i in range(20)])
+        assert run_parallel(_square, tasks, jobs=1, reduce=operator.add) == expected
+
+    def test_pool_fold_matches_inline(self):
+        tasks = [(i,) for i in range(37)]
+        assert run_parallel(
+            _square, tasks, jobs=4, reduce=operator.add
+        ) == run_parallel(_square, tasks, jobs=1, reduce=operator.add)
+
+    def test_ordered_noncommutative_reduce_survives_chunking(self):
+        # String concatenation is associative but not commutative, so a
+        # chunk folded out of order or merged in completion order would
+        # scramble the result.
+        tasks = [(i,) for i in range(23)]
+        expected = "".join(_token(i) for i in range(23))
+        assert run_parallel(_token, tasks, jobs=1, reduce=operator.add) == expected
+        assert (
+            run_parallel(_token, tasks, jobs=4, chunk_size=3, reduce=operator.add)
+            == expected
+        )
+
+    def test_initial_applied_exactly_once(self):
+        tasks = [(i,) for i in range(16)]
+        expected = 100 + sum(i * i for i in range(16))
+        for jobs in (1, 4):
+            assert (
+                run_parallel(
+                    _square, tasks, jobs=jobs, reduce=operator.add, initial=100
+                )
+                == expected
+            )
+
+    def test_empty_tasks_return_initial(self):
+        assert run_parallel(_square, [], jobs=4, reduce=operator.add, initial=7) == 7
+
+    def test_empty_tasks_without_initial_raise(self):
+        with pytest.raises(ValueError, match="initial"):
+            run_parallel(_square, [], jobs=1, reduce=operator.add)
+
+    def test_mergeable_accumulators_jobs_invariant(self):
+        sequential = run_replications(
+            _summary_of, trials=24, seed=9, jobs=1, reduce=_merge_summaries
+        )
+        pooled = run_replications(
+            _summary_of, trials=24, seed=9, jobs=4, reduce=_merge_summaries
+        )
+        assert pooled == sequential
+        assert pooled.summary() == sequential.summary()
+
+    def test_run_trials_reduce_jobs_invariant(self):
+        configs = list(range(11))
+        assert run_trials(
+            _config_cell, configs, 5, 1, jobs=4, reduce=_keep_first
+        ) == run_trials(_config_cell, configs, 5, 1, jobs=1, reduce=_keep_first)
+
+
+class TestIpcMeasurement:
+    def test_unmeasured_call_reports_none(self):
+        run_parallel(_square, [(1,), (2,)], jobs=1)
+        assert last_ipc_bytes() is None
+
+    def test_inline_measurement_simulates_chunking(self):
+        run_parallel(_wide_row, [(i,) for i in range(16)], jobs=2, measure_ipc=True)
+        assert last_ipc_bytes() > 0
+
+    def test_reduce_shrinks_payload(self):
+        tasks = [(i,) for i in range(32)]
+        for jobs in (1, 4):
+            run_parallel(_wide_row, tasks, jobs=jobs, measure_ipc=True)
+            raw = last_ipc_bytes()
+            run_parallel(
+                _wide_row,
+                tasks,
+                jobs=jobs,
+                reduce=operator.add,
+                measure_ipc=True,
+            )
+            reduced = last_ipc_bytes()
+            # Concatenating rows keeps all elements but drops the
+            # per-task framing; a genuinely mergeable accumulator does
+            # far better (see the bench suite's sweep_reduce cell).
+            assert reduced < raw
+
+    def test_pool_and_inline_measure_comparably(self):
+        tasks = [(i,) for i in range(32)]
+        run_parallel(_wide_row, tasks, jobs=1, chunk_size=4, measure_ipc=True)
+        inline = last_ipc_bytes()
+        run_parallel(_wide_row, tasks, jobs=4, chunk_size=4, measure_ipc=True)
+        pooled = last_ipc_bytes()
+        assert inline == pooled
 
 
 class TestRunMode:
@@ -212,6 +364,39 @@ class TestMergeOrdered:
         # Sorting must key on the index alone, never compare values.
         values = [(1, {"b": 2}), (0, {"a": 1})]
         assert merge_ordered(values, expected=2) == [{"a": 1}, {"b": 2}]
+
+
+class TestCombinePartials:
+    def test_folds_in_task_order(self):
+        chunks = [(3, 2, "<3><4>"), (0, 3, "<0><1><2>")]
+        assert (
+            combine_partials(chunks, operator.add, expected=5) == "<0><1><2><3><4>"
+        )
+
+    def test_initial_seeds_the_fold(self):
+        chunks = [(0, 2, 5), (2, 2, 7)]
+        assert combine_partials(chunks, operator.add, expected=4, initial=100) == 112
+
+    def test_gap_raises(self):
+        with pytest.raises(MergeError, match="missing chunk coverage"):
+            combine_partials([(0, 2, 1), (3, 1, 2)], operator.add, expected=4)
+
+    def test_overlap_raises(self):
+        with pytest.raises(MergeError, match="overlapping chunk coverage"):
+            combine_partials([(0, 3, 1), (2, 2, 2)], operator.add, expected=4)
+
+    def test_short_coverage_raises(self):
+        with pytest.raises(MergeError, match="were submitted"):
+            combine_partials([(0, 2, 1)], operator.add, expected=5)
+
+    def test_empty_count_raises(self):
+        with pytest.raises(MergeError, match="count 0"):
+            combine_partials([(0, 0, 1)], operator.add, expected=0)
+
+    def test_no_chunks_returns_initial_or_raises(self):
+        assert combine_partials([], operator.add, expected=0, initial=9) == 9
+        with pytest.raises(MergeError, match="no chunks"):
+            combine_partials([], operator.add, expected=0)
 
 
 class TestMergeCounts:

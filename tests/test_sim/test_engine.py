@@ -405,9 +405,12 @@ class TestFastPaths:
         assert value.get(slow, "absent") == "absent"
         assert dict(value) == {fast: "fast"}
 
-    def test_condition_value_snapshot_taken_at_trigger(self, env):
+    def test_condition_value_snapshot_taken_at_trigger(self):
         # Sub-events succeeding after the condition fired must not leak
-        # into a value that is only inspected later.
+        # into a value that is only inspected later.  Elision is disabled
+        # so the losing timeout still fires and could leak if the
+        # snapshot were taken lazily.
+        env = Environment(elide_dead_timers=False)
         fast = env.timeout(1, value="fast")
         slow = env.timeout(9, value="slow")
         condition = env.any_of([fast, slow])
@@ -499,3 +502,114 @@ class TestEngineDeepEdges:
 
         process = env.process(my_generator())
         assert "my_generator" in repr(process) or "process" in repr(process)
+
+
+class TestTimerElision:
+    """Dead-timer elision: cancelled Timeouts are popped, never processed."""
+
+    def test_cancel_fresh_timeout_skips_processing(self, env):
+        timer = env.timeout(5.0)
+        assert timer.cancel() is True
+        env.run()
+        assert not timer.processed
+        assert env.dead_pops == 1
+        assert env.now == 5.0  # a dead pop still advances the clock
+
+    def test_cancel_is_idempotent(self, env):
+        timer = env.timeout(1.0)
+        assert timer.cancel() is True
+        assert timer.cancel() is True
+        env.run()
+        assert env.dead_pops == 1
+
+    def test_cancel_refused_with_parked_waiter(self, env):
+        def sleeper():
+            yield env.timeout(2.0)
+            return "woke"
+
+        process = env.process(sleeper())
+        env.run(until=1.0)  # bootstrap ran; the process is parked on the timer
+        timer = process._target
+        if isinstance(timer, Timeout):
+            assert timer.cancel() is False
+        env.run()
+        assert process.value == "woke"
+
+    def test_cancel_refused_with_callbacks(self, env):
+        timer = env.timeout(1.0)
+        timer.add_callback(lambda event: None)
+        assert timer.cancel() is False
+        env.run()
+        assert timer.processed and env.dead_pops == 0
+
+    def test_cancel_refused_after_processed(self, env):
+        timer = env.timeout(1.0)
+        env.run()
+        assert timer.processed
+        assert timer.cancel() is False
+
+    def test_cancel_refused_when_elision_disabled(self):
+        env = Environment(elide_dead_timers=False)
+        timer = env.timeout(1.0)
+        assert timer.cancel() is False
+        env.run()
+        assert timer.processed and env.dead_pops == 0
+
+    def test_any_of_detaches_and_elides_losing_timeout(self, env):
+        def racer():
+            reply = env.timeout(0.5, value="reply")
+            timer = env.timeout(10.0)
+            result = yield env.any_of([reply, timer])
+            return dict(result)
+
+        process = env.process(racer())
+        env.run()
+        assert list(process.value.values()) == ["reply"]
+        assert env.dead_pops == 1
+        assert env.now == 10.0  # the dead entry still drained the heap
+
+    def test_losing_event_with_other_observers_still_fires(self, env):
+        # The loser is a timer someone else also waits on: detaching the
+        # condition's callback must not cancel it.
+        shared = env.timeout(3.0, value="shared")
+
+        def racer():
+            reply = env.timeout(1.0, value="fast")
+            yield env.any_of([reply, shared])
+
+        def bystander():
+            value = yield shared
+            return value
+
+        env.process(racer())
+        watcher = env.process(bystander())
+        env.run()
+        assert watcher.value == "shared"
+        assert shared.processed
+
+    def test_interrupt_cancels_fresh_sleep_timer(self, env):
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                return "interrupted"
+
+        def interrupter(process):
+            yield env.timeout(1.0)
+            process.interrupt("wake up")
+
+        process = env.process(sleeper())
+        env.process(interrupter(process))
+        env.run()
+        assert process.value == "interrupted"
+        assert env.dead_pops == 1
+        assert env.now == 100.0
+
+    def test_heap_entries_are_time_eid_event_triples(self, env):
+        env.timeout(1.0)
+        env.timeout(2.0)
+        assert all(len(entry) == 3 for entry in env._queue)
+        times = [entry[0] for entry in env._queue]
+        eids = [entry[1] for entry in env._queue]
+        assert times == [1.0, 2.0]
+        assert eids[0] < eids[1]  # scheduling order is the tie-break
