@@ -1,12 +1,17 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-slow lint fuzz bench bench-smoke bench-baseline bench-compare profile experiments examples all clean
+.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare profile experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
 	PYTHONPATH=src python -m pytest -x -q
+
+# The same tier-1 suite with every Environment on the calendar queue;
+# behaviour (golden traces included) must be identical to the heap run.
+test-calendar:
+	REPRO_SCHEDULER=calendar PYTHONPATH=src python -m pytest -x -q
 
 test-slow:
 	PYTHONPATH=src python -m pytest -q -m slow
@@ -23,6 +28,11 @@ bench:
 
 bench-smoke:
 	PYTHONPATH=src python -m repro bench --quick
+
+# Both sides of the scheduler matrix on the scheduler-sensitive cells.
+bench-ab:
+	PYTHONPATH=src python -m repro bench scheduler_churn batched_fanout --repeats 5 --no-artifact
+	PYTHONPATH=src python -m repro bench scheduler_churn batched_fanout --repeats 5 --scheduler heap --no-artifact
 
 bench-baseline:
 	PYTHONPATH=src python -m repro bench --record --repeats 5 --no-artifact

@@ -82,6 +82,12 @@ class AccessControlSystem:
         ``REPRO_CHECK_INVARIANTS=1`` (or the CLI's
         ``--check-invariants``) turns checking on for every system any
         experiment constructs.
+    scheduler:
+        Event-scheduler selection forwarded to
+        :class:`~repro.sim.engine.Environment` — a registry name
+        (``"heap"``/``"calendar"``), a
+        :class:`~repro.sim.scheduler.Scheduler` instance, or ``None``
+        to defer to ``REPRO_SCHEDULER`` and the default.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class AccessControlSystem:
         keep_trace_log: bool = False,
         recheck_on_delivery: bool = False,
         check_invariants: Optional[bool] = None,
+        scheduler=None,
     ):
         if n_managers < 1:
             raise ValueError("need at least one manager")
@@ -113,7 +120,7 @@ class AccessControlSystem:
         self.policy.validate_for(n_managers)
         self.applications = tuple(applications)
         self.streams = RngStreams(seed)
-        self.env = Environment()
+        self.env = Environment(scheduler=scheduler)
         self.tracer = Tracer(self.env, keep_log=keep_trace_log)
         self.network = Network(
             self.env,

@@ -36,6 +36,11 @@ from ..sim.engine import Environment
 from ..sim.network import FixedLatency, Network
 from ..sim.node import Node
 from ..sim.partitions import ScriptedConnectivity
+from ..sim.scheduler import (
+    SCHEDULER_ENV_VAR,
+    available_schedulers,
+    make_scheduler,
+)
 from ..sim.trace import Tracer
 
 __all__ = [
@@ -52,6 +57,21 @@ BENCH_SCHEMA = "repro-bench-v1"
 
 #: Default allowed best-of-K slowdown versus the baseline (10%).
 DEFAULT_THRESHOLD = 0.10
+
+#: ``--scheduler`` A/B override.  ``None`` leaves every cell on its own
+#: default (existing cells: the environment default, i.e. the heap
+#: unless ``REPRO_SCHEDULER`` says otherwise; ``scheduler_churn``: the
+#: calendar queue, which is the point of the cell).
+BENCH_SCHEDULER: Optional[str] = None
+
+#: ``scheduler_churn`` population.  Deliberately *not* scaled by
+#: ``--quick``: the population (not the event count) sets the per-event
+#: cost, so holding it constant keeps quick per-op times comparable
+#: with a full-size baseline.  OUTSTANDING is the passive ballast of
+#: long lease/expiry timers; CHAINS is the number of fast re-arming
+#: retry/pacing chains doing the measured churn.
+CHURN_OUTSTANDING = 100_000
+CHURN_CHAINS = 5_000
 
 
 def format_seconds(seconds: float) -> str:
@@ -302,6 +322,134 @@ def bench_timer_elision(races: int) -> Dict[str, Any]:
     }
 
 
+#: Sentinel carried in the event slot of the churn cell's guard
+#: entries — the scheduler-layer stand-in for a cancelled Timeout.
+_CHURN_DEAD = object()
+
+
+def bench_scheduler_churn(events: int) -> Dict[str, Any]:
+    """Timeout churn through the raw :class:`Scheduler` interface.
+
+    The million-principal sweep regime, measured at the scheduler layer
+    proper: a ~100k passive ballast of long-lived lease/expiry timers
+    (none pop inside the measured window) while 5k fast retry/pacing
+    chains churn short entries through the queue.  Every short push is
+    smaller than the entire ballast, so a binary heap sifts it up the
+    full ~log n depth and sifts another cache-cold path on every pop;
+    the calendar queue hashes it straight into a near-cursor bucket.
+    Every live pop re-arms itself and pushes a dead guard entry — the
+    dominant protocol shape (the response wins the response-or-timeout
+    race and the guard timer dies), mirroring the ~1:1 cancel-to-fire
+    ratio the elision cell observes — so half of all pops are dead and
+    discarded unprocessed, exactly like the engine's dead-pop elision.
+
+    The cell deliberately bypasses ``Environment``: the engine adds a
+    scheduler-independent ~2 µs/event of Timeout allocation, callback
+    dispatch, and run-loop bookkeeping that would dilute the scheduler
+    signal this cell gates on (engine-level integration is covered by
+    the protocol cells, ``batched_fanout``, and the tier-1 run under
+    ``REPRO_SCHEDULER=calendar``).  ``events`` counts *pops*; the
+    per-op figure is the marginal scheduler cost of one pop (+ one
+    amortised push) against a full queue, directly comparable between
+    ``--quick`` and full runs (the population is constant, only the
+    number of timed operations scales).
+
+    Defaults to the calendar queue — beating the committed heap
+    baseline on this cell is PR 6's acceptance gate; ``--scheduler
+    heap`` reproduces the baseline side of the A/B.
+
+    The collector is paused around the timed region (pytest-benchmark
+    style): with ~100k queued entries a gen-2 pass costs milliseconds,
+    and whether one lands inside the window would otherwise dominate
+    the scheduler signal this cell exists to measure.
+    """
+    import gc
+
+    scheduler = make_scheduler(BENCH_SCHEDULER or "calendar")
+    rng = random.Random(987654321)
+    table = [rng.uniform(0.25, 2.0) for _ in range(8192)]
+    eid = 0
+    for _ in range(CHURN_OUTSTANDING):
+        scheduler.push((rng.uniform(50.0, 150.0), eid, None))  # lease ballast
+        eid += 1
+    for i in range(CHURN_CHAINS):
+        scheduler.push((table[i & 8191], eid, None))  # fast chains
+        eid += 1
+    # Sanity: the fast cluster advances ~mean_delay/CHAINS per live pop,
+    # so the measured window never starts popping the lease ballast.
+    mean_delay = sum(table) / len(table)
+    assert 2.0 + (events / 2) * mean_delay / CHURN_CHAINS < 50.0, (
+        "ops budget would churn into the lease ballast"
+    )
+    pop = scheduler.pop
+    push = scheduler.push
+    dead = _CHURN_DEAD
+    fired = 0
+    dead_pops = 0
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for _ in range(events):
+            entry = pop()
+            if entry[2] is dead:
+                dead_pops += 1
+                continue
+            fired += 1
+            when = entry[0]
+            push((when + table[fired & 8191], eid, None))
+            eid += 1
+            push((when + table[(fired + 3) & 8191], eid, dead))
+            eid += 1
+        elapsed = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert fired > 0, "churn loop fired no live entries"
+    assert dead_pops > 0, "churn produced no dead pops"
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "scheduler": scheduler.name,
+            "outstanding": CHURN_OUTSTANDING,
+            "chains": CHURN_CHAINS,
+            "nominal_events": events,
+            "events_fired": fired,
+            "dead_pops": dead_pops,
+        },
+    }
+
+
+def bench_batched_fanout(rounds: int) -> Dict[str, Any]:
+    """Distinct-message fan-out: ``send_many`` batching one sender's
+    per-destination payloads (the planner/freeze-ping shape) into a
+    single scheduler insertion per round."""
+    n_nodes = 16
+    env, network, nodes = _message_network(n_nodes)
+    others = [node.address for node in nodes[1:]]
+    src = nodes[0].address
+    started = time.perf_counter()
+    send_many = network.send_many
+    for round_index in range(rounds):
+        send_many(
+            src,
+            [(dst, ("query", round_index, i)) for i, dst in enumerate(others)],
+        )
+    env.run()
+    elapsed = time.perf_counter() - started
+    delivered = sum(node.received for node in nodes)
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "scheduler": env.scheduler_name,
+            "rounds": rounds,
+            "fanout": len(others),
+            "delivered": delivered,
+        },
+    }
+
+
 #: name -> (function, full-size argument, quick-size argument).
 BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "msg_send_deliver": (bench_msg_send_deliver, 120_000, 20_000),
@@ -312,6 +460,8 @@ BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "cell_freeze": (bench_cell_freeze, 10, 2),
     "sweep_reduce": (bench_sweep_reduce, 64, 16),
     "timer_elision": (bench_timer_elision, 150_000, 30_000),
+    "scheduler_churn": (bench_scheduler_churn, 150_000, 25_000),
+    "batched_fanout": (bench_batched_fanout, 8_000, 1_500),
 }
 
 
@@ -497,7 +647,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip writing the BENCH_<n>.json trajectory artifact",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list benchmark names and exit"
+        "--list", action="store_true",
+        help="list benchmark cells, sizes, gate thresholds and baseline "
+        "coverage, then exit",
+    )
+    parser.add_argument(
+        "--scheduler", choices=available_schedulers(), default=None,
+        help="run every cell under this event scheduler (A/B matrix; "
+        "default: each cell's own default)",
+    )
+    parser.add_argument(
+        "--record-missing", action="store_true",
+        help="merge cells absent from the baseline into it (existing "
+        "entries untouched); the gate still applies to cells already "
+        "covered",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -508,22 +671,65 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--threshold must be positive")
 
     if args.list:
-        for name in BENCHMARKS:
-            print(name)
+        try:
+            baseline_names = set(load_medians(args.baseline))
+        except FileNotFoundError:
+            baseline_names = set()
+        width = max(len(name) for name in BENCHMARKS)
+        print(
+            f"{'cell'.ljust(width)}  {'full':>8}  {'quick':>8}  "
+            f"{'gate':>6}  baseline"
+        )
+        for name, (_fn, full_size, quick_size) in BENCHMARKS.items():
+            covered = "yes" if name in baseline_names else "MISSING"
+            print(
+                f"{name.ljust(width)}  {full_size:>8}  {quick_size:>8}  "
+                f"{args.threshold:>5.0%}  {covered}"
+            )
+        missing = sorted(set(BENCHMARKS) - baseline_names)
+        if missing:
+            print(
+                f"\n{len(missing)} cell(s) missing from {args.baseline}: "
+                f"{', '.join(missing)}\n"
+                "add them with `repro bench --record-missing` "
+                "(keeps existing entries)"
+            )
         return 0
 
-    from .cli import _profiled
+    global BENCH_SCHEDULER
+    saved_env = os.environ.get(SCHEDULER_ENV_VAR)
+    if args.scheduler:
+        # Existing cells build a default Environment, so the env var is
+        # the one lever that A/Bs the entire matrix; cells with their
+        # own default (scheduler_churn) read the module global.
+        BENCH_SCHEDULER = args.scheduler
+        os.environ[SCHEDULER_ENV_VAR] = args.scheduler
+    try:
+        from .cli import _profiled
 
-    with _profiled(args.profile, os.path.join(args.out, "repro-bench.prof")):
-        document = run_suite(
-            quick=args.quick, repeats=args.repeats, names=args.names or None
-        )
+        with _profiled(args.profile, os.path.join(args.out, "repro-bench.prof")):
+            document = run_suite(
+                quick=args.quick, repeats=args.repeats, names=args.names or None
+            )
+    finally:
+        if args.scheduler:
+            BENCH_SCHEDULER = None
+            if saved_env is None:
+                os.environ.pop(SCHEDULER_ENV_VAR, None)
+            else:
+                os.environ[SCHEDULER_ENV_VAR] = saved_env
 
     for name, entry in document["benchmarks"].items():
+        meta = entry.get("meta", {})
+        extras = "".join(
+            f", {key}={meta[key]}"
+            for key in ("scheduler", "dead_pops")
+            if key in meta
+        )
         print(
             f"{name}: best {format_seconds(entry['best'])}/op "
             f"(median {format_seconds(entry['median'])}/op, "
-            f"{args.repeats} run(s) of {entry['size']} ops)"
+            f"{args.repeats} run(s) of {entry['size']} ops{extras})"
         )
 
     current = {
@@ -562,6 +768,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         document["baseline"] = args.baseline
         document["threshold"] = args.threshold
         document["comparison"] = comparison
+        uncovered = sorted(set(current) - set(baseline))
+        if uncovered and args.record_missing:
+            with open(args.baseline) as handle:
+                baseline_doc = json.load(handle)
+            for name in uncovered:
+                baseline_doc.setdefault("benchmarks", {})[name] = (
+                    document["benchmarks"][name]
+                )
+            with open(args.baseline, "w") as handle:
+                json.dump(baseline_doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(
+                f"\nrecorded {len(uncovered)} new cell(s) into "
+                f"{args.baseline}: {', '.join(uncovered)}"
+            )
+        elif uncovered:
+            print(
+                f"\n{len(uncovered)} cell(s) have no baseline entry and are "
+                f"not gated: {', '.join(uncovered)}\n"
+                "record them with `repro bench --record-missing` "
+                "(keeps existing entries)"
+            )
 
     if not args.no_artifact:
         os.makedirs(args.out, exist_ok=True)

@@ -228,10 +228,14 @@ class FreezeStrategy(DisseminationStrategy):
         nonce = itertools.count(1)
         while True:
             if manager.up:
-                for peer in manager._peers[application]:
-                    manager.send(
-                        peer, Ping(nonce=next(nonce), sender=manager.address)
-                    )
+                # Distinct nonce per peer, but one scheduler insertion
+                # for the whole constant-latency ping fan-out.
+                manager.send_many(
+                    [
+                        (peer, Ping(nonce=next(nonce), sender=manager.address))
+                        for peer in manager._peers[application]
+                    ]
+                )
                 frozen = self.is_frozen(manager, application, policy)
                 was_frozen = application in manager._frozen_apps
                 tracer = manager.tracer

@@ -91,15 +91,24 @@ class ParallelPlanner(QueryPlanner):
 
         tracer = host.tracer
         wants_sent = tracer.wants(TraceKind.QUERY_SENT)
+        # The whole fan-out lands at one timestamp under constant
+        # latency, so it is sent as a single batch (one scheduler
+        # insertion); ``on_sent`` keeps the per-manager QUERY_SENT
+        # trace interleaved exactly as the unbatched loop emitted it.
+        items = []
         for manager in managers:
             qid = host._pending_queries.allocate(on_response)
             query_ids.append(qid)
-            host.send(
-                manager,
-                QueryRequest(
-                    query_id=qid, application=application, user=user, right=right
-                ),
+            items.append(
+                (
+                    manager,
+                    QueryRequest(
+                        query_id=qid, application=application, user=user, right=right
+                    ),
+                )
             )
+
+        def on_sent(manager: str, _message) -> None:
             if wants_sent:
                 tracer.publish(
                     TraceKind.QUERY_SENT,
@@ -110,6 +119,8 @@ class ParallelPlanner(QueryPlanner):
                 )
             else:
                 tracer.bump(TraceKind.QUERY_SENT)
+
+        host.send_many(items, on_sent)
         timer = host.env.timeout(policy.query_timeout)
         yield host.env.any_of([done, timer])
         timer.cancel()  # dead once the quorum won the race

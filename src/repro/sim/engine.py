@@ -48,10 +48,13 @@ Example
 
 from __future__ import annotations
 
+import functools
 import heapq
 import itertools
 from collections.abc import Mapping
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
+
+from .scheduler import HeapScheduler, Scheduler, make_scheduler
 
 __all__ = [
     "Environment",
@@ -544,7 +547,7 @@ class Environment:
 
     ``elide_dead_timers`` (default True) enables dead-timer elision:
     Timeouts that lost an ``any_of`` race (or were explicitly
-    ``cancel()``-ed while unobserved) are popped from the heap without
+    ``cancel()``-ed while unobserved) are popped from the queue without
     being processed.  Elision is behaviour-preserving — a dead timer has
     no waiter and no callbacks, so processing it was a no-op — and time
     still advances over dead pops exactly as it did when they were
@@ -552,21 +555,57 @@ class Environment:
     the machinery is actually engaged on protocol workloads); pass
     ``elide_dead_timers=False`` to disable the whole mechanism, which
     the equivalence property test uses as its reference.
+
+    ``scheduler`` selects the pending-event queue implementation (see
+    :mod:`repro.sim.scheduler`): a registry name (``"heap"`` or
+    ``"calendar"``), a fresh :class:`~repro.sim.scheduler.Scheduler`
+    instance, or ``None`` to defer to the ``REPRO_SCHEDULER``
+    environment variable and then the heap default.  Every scheduler
+    honours the same ``(time, eid)`` total order, so the choice never
+    changes observable behaviour — only wall-clock.
     """
 
-    def __init__(self, initial_time: float = 0.0, elide_dead_timers: bool = True):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        elide_dead_timers: bool = True,
+        scheduler: Union[None, str, Scheduler] = None,
+    ):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._scheduler = make_scheduler(scheduler)
+        #: Registry name of the active scheduler ("heap", "calendar").
+        self.scheduler_name = self._scheduler.name
+        # The heap path keeps the pre-abstraction inlined hot loop; any
+        # other scheduler goes through the generic pop()/push() calls.
+        self._heap: Optional[list[tuple[float, int, Event]]] = (
+            self._scheduler._queue
+            if isinstance(self._scheduler, HeapScheduler)
+            else None
+        )
+        if self._heap is not None:
+            # C partial -> C heappush: the default path schedules with
+            # zero Python-level frames, exactly like the pre-abstraction
+            # inlined code.
+            self._push = functools.partial(heapq.heappush, self._heap)
+        else:
+            self._push = self._scheduler.push
         self._eid = itertools.count()
         self._active = False
         self._elide = bool(elide_dead_timers)
         #: Number of dead (cancelled) entries popped unprocessed so far.
+        #: Counted in the run loop, so it is exact under every scheduler.
         self.dead_pops = 0
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def _queue(self) -> list[tuple[float, int, Event]]:
+        """The pending entries (live heap list for the heap scheduler,
+        an unordered snapshot otherwise).  Introspection/tests only."""
+        return self._scheduler.entries()
 
     # -- factory helpers ---------------------------------------------------
     def event(self) -> Event:
@@ -593,17 +632,17 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
-        # Heap entries are (time, eid, event) 3-tuples: same-timestamp
+        # Queue entries are (time, eid, event) 3-tuples: same-timestamp
         # ties break on the monotonically increasing eid, i.e. strictly
         # by scheduling order.  (A priority field used to sit between
         # time and eid, but no caller ever varied it.)
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+        self._push((self._now + delay, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._scheduler.peek()
 
     def step(self) -> None:
         """Pop exactly one queue entry, advancing time to it.
@@ -612,9 +651,10 @@ class Environment:
         processed — identical observable behaviour, since a dead timer
         resumes nobody.
         """
-        if not self._queue:
+        entry = self._scheduler.pop()
+        if entry is None:
             raise SimulationError("no scheduled events")
-        when, _eid, event = heapq.heappop(self._queue)
+        when, _eid, event = entry
         self._now = when
         if event._cancelled:
             self.dead_pops += 1
@@ -638,20 +678,48 @@ class Environment:
                 )
             # Hot loop: ``step`` inlined with local bindings — per-event
             # method-call and attribute-lookup overhead dominates the
-            # protocol benchmarks otherwise.
-            queue = self._queue
-            pop = heapq.heappop
-            if until is None:
-                while queue:
-                    when, _eid, event = pop(queue)
+            # protocol benchmarks otherwise.  The heap scheduler keeps
+            # the raw-list loop of the pre-abstraction engine; other
+            # schedulers go through their (None-on-empty) pop methods.
+            queue = self._heap
+            if queue is not None:
+                pop = heapq.heappop
+                if until is None:
+                    while queue:
+                        when, _eid, event = pop(queue)
+                        self._now = when
+                        if event._cancelled:
+                            self.dead_pops += 1
+                            continue
+                        event._process()
+                else:
+                    while queue and queue[0][0] <= until:
+                        when, _eid, event = pop(queue)
+                        self._now = when
+                        if event._cancelled:
+                            self.dead_pops += 1
+                            continue
+                        event._process()
+                    self._now = max(self._now, until)
+            elif until is None:
+                pop = self._scheduler.pop
+                while True:
+                    entry = pop()
+                    if entry is None:
+                        break
+                    when, _eid, event = entry
                     self._now = when
                     if event._cancelled:
                         self.dead_pops += 1
                         continue
                     event._process()
             else:
-                while queue and queue[0][0] <= until:
-                    when, _eid, event = pop(queue)
+                pop_at_most = self._scheduler.pop_at_most
+                while True:
+                    entry = pop_at_most(until)
+                    if entry is None:
+                        break
+                    when, _eid, event = entry
                     self._now = when
                     if event._cancelled:
                         self.dead_pops += 1
@@ -662,4 +730,7 @@ class Environment:
             self._active = False
 
     def __repr__(self) -> str:
-        return f"<Environment t={self._now} queued={len(self._queue)}>"
+        return (
+            f"<Environment t={self._now} queued={len(self._scheduler)} "
+            f"scheduler={self.scheduler_name}>"
+        )

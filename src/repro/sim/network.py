@@ -41,7 +41,7 @@ recompute as little as possible per message:
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from .engine import Environment
 from .node import Address, Node
@@ -172,6 +172,33 @@ class _MulticastDelivery:
         message = self.message
         for dst in self.dsts:
             network._deliver(src, dst, message)
+
+
+class _FanoutDelivery:
+    """Queue entry for a batched constant-latency fan-out of *distinct*
+    messages (one per destination), e.g. a planner's per-manager queries
+    or a freeze monitor's nonce'd pings.
+
+    The batched-multicast trick generalised: all surviving copies land
+    at the same instant, so one scheduler insertion delivers the whole
+    batch in the order the per-message events would have fired.
+    """
+
+    __slots__ = ("network", "src", "items")
+
+    _cancelled = False  # read by the engine's dead-entry check on pop
+
+    def __init__(self, network: "Network", src: Address, items: List[tuple]):
+        self.network = network
+        self.src = src
+        self.items = items
+
+    def _process(self) -> None:
+        network = self.network
+        src = self.src
+        deliver = network._deliver
+        for dst, message in self.items:
+            deliver(src, dst, message)
 
 
 class Network:
@@ -334,6 +361,73 @@ class Network:
             else:
                 delay = self.latency.sample(rng, src, dst)
             env._schedule(_Delivery(self, src, dst, message), delay)
+
+    def send_many(
+        self,
+        src: Address,
+        items: Iterable[tuple],
+        on_sent: Optional[Callable[[Address, Any], None]] = None,
+    ) -> None:
+        """Unicast a batch of ``(dst, message)`` pairs from one source.
+
+        Observably identical to ``for dst, m in items: send(src, dst, m)``
+        — same per-destination checks, traces, loss/duplication draws,
+        counters, and delivery order — but with a constant-latency model
+        the surviving copies (which all land at the same instant) are
+        queued as a single scheduler insertion instead of one per
+        message.  ``on_sent(dst, message)`` is invoked right after each
+        pair's send bookkeeping, so callers can interleave their own
+        per-destination traces exactly as an unbatched loop would.
+        """
+        fixed = self._fixed_delay
+        items = list(items)
+        if fixed is None or any(dst == src for dst, _ in items):
+            # Stochastic latency (per-destination delays differ) or a
+            # self-destination (delivered at zero delay): per-pair sends.
+            for dst, message in items:
+                self.send(src, dst, message)
+                if on_sent is not None:
+                    on_sent(dst, message)
+            return
+        nodes = self.nodes
+        src_node = nodes.get(src)
+        if src_node is None:
+            raise ValueError(f"unknown source {src!r}")
+        tracer = self.tracer
+        wants_sent = tracer.wants(TraceKind.MSG_SENT)
+        loss_rate = self.loss_rate
+        duplicate_rate = self.duplicate_rate
+        rng = self.rng
+        src_up = src_node.up
+        survivors: List[tuple] = []
+        for dst, message in items:
+            if dst not in nodes:
+                raise ValueError(f"unknown destination {dst!r}")
+            self.messages_sent += 1
+            if wants_sent:
+                tracer.publish(
+                    TraceKind.MSG_SENT,
+                    src,
+                    dst=dst,
+                    message_kind=type(message).__name__,
+                )
+            else:
+                tracer.bump(TraceKind.MSG_SENT)
+            if not src_up:
+                self._drop(src, dst, message, "source down")
+            elif not self._connected(src, dst):
+                self._drop(src, dst, message, "partitioned")
+            elif loss_rate > 0 and rng.random() < loss_rate:
+                self._drop(src, dst, message, "random loss")
+            else:
+                survivors.append((dst, message))
+                if duplicate_rate > 0 and rng.random() < duplicate_rate:
+                    survivors.append((dst, message))
+                    self.messages_duplicated += 1
+            if on_sent is not None:
+                on_sent(dst, message)
+        if survivors:
+            self.env._schedule(_FanoutDelivery(self, src, survivors), fixed)
 
     def multicast(self, src: Address, dsts: Iterable[Address], message: Any) -> None:
         """Unreliable multicast: an independent unicast per destination.

@@ -69,6 +69,12 @@ class Node:
             raise RuntimeError(f"node {self.address!r} is not attached to a network")
         self.network.multicast(self.address, dsts, message)
 
+    def send_many(self, items: Iterable[tuple], on_sent=None) -> None:
+        """Batch of ``(dst, message)`` unicasts; see ``Network.send_many``."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.address!r} is not attached to a network")
+        self.network.send_many(self.address, items, on_sent)
+
     def handle_message(self, src: Address, message: Any) -> None:
         """Deliver a message to this node; subclasses implement."""
         raise NotImplementedError

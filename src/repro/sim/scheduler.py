@@ -1,0 +1,501 @@
+"""Pluggable event schedulers for the simulation engine.
+
+The :class:`~repro.sim.engine.Environment` run loop is a pure
+priority-queue consumer: entries are ``(time, eid, event)`` tuples,
+``time`` orders them and the monotonically increasing ``eid`` breaks
+ties in scheduling order.  That total order *is* the determinism
+contract — golden traces, ``jobs=N`` byte-identity, and the fuzz
+oracles all assume it — so a scheduler is free to organise storage any
+way it likes as long as ``pop`` returns entries in exactly
+``sorted(entries)`` order.
+
+Two implementations:
+
+:class:`HeapScheduler`
+    The reference: a single binary heap (`heapq`).  O(log n) per
+    operation with C-implemented sift loops; unbeatable for small
+    pending sets and the yardstick every alternative is differentially
+    tested against.
+
+:class:`CalendarScheduler`
+    A calendar queue (Brown 1988) with an overflow ladder.  Near-future
+    entries hash into per-*day* buckets (``day = time // width``); each
+    bucket is a tiny heap, so for the simulator's mostly-FIFO timer
+    workload both insert and pop touch a handful of entries instead of
+    sifting a log-depth path through one big heap.  Entries beyond the
+    calendar's window land in an overflow heap and are promoted when
+    the cursor reaches them.  The day width is auto-tuned from the
+    observed span of queued entries whenever the structure resizes, so
+    occupancy stays at a few entries per bucket regardless of timer
+    scale.
+
+Selection is wired through ``Environment(scheduler=...)`` and the
+``REPRO_SCHEDULER`` environment variable; see :func:`make_scheduler`.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = [
+    "Scheduler",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "make_scheduler",
+    "available_schedulers",
+    "SCHEDULER_ENV_VAR",
+    "DEFAULT_SCHEDULER",
+]
+
+#: Queue entry: ``(time, eid, event)``.
+Entry = Tuple[float, int, Any]
+
+#: Environment variable consulted when no scheduler is passed explicitly.
+SCHEDULER_ENV_VAR = "REPRO_SCHEDULER"
+
+#: Scheduler used when neither the constructor nor the environment
+#: variable picks one.  The heap is the reference implementation.
+DEFAULT_SCHEDULER = "heap"
+
+_INF = float("inf")
+
+
+class Scheduler:
+    """Interface every scheduler implements.
+
+    ``pop``/``pop_at_most`` return ``None`` on empty (not an exception)
+    so the engine's hot loop needs no try/except per event.
+    """
+
+    __slots__ = ()
+
+    #: Registry name; also reported as ``Environment.scheduler_name``.
+    name = "abstract"
+
+    def push(self, entry: Entry) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the smallest entry, or ``None`` if empty."""
+        raise NotImplementedError
+
+    def pop_at_most(self, horizon: float) -> Optional[Entry]:
+        """Like :meth:`pop`, but leave (and return ``None`` for) an
+        entry whose time exceeds ``horizon``."""
+        raise NotImplementedError
+
+    def peek(self) -> float:
+        """Time of the smallest entry, or ``inf`` if empty."""
+        raise NotImplementedError
+
+    def entries(self) -> List[Entry]:
+        """Every queued entry, unordered (introspection/tests only)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} queued={len(self)}>"
+
+
+class HeapScheduler(Scheduler):
+    """The reference scheduler: one binary heap."""
+
+    name = "heap"
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        #: The engine's run loop reaches into this list directly to keep
+        #: the default path exactly as fast as the pre-abstraction code.
+        self._queue: List[Entry] = []
+
+    def push(self, entry: Entry) -> None:
+        heappush(self._queue, entry)
+
+    def pop(self) -> Optional[Entry]:
+        if not self._queue:
+            return None
+        return heappop(self._queue)
+
+    def pop_at_most(self, horizon: float) -> Optional[Entry]:
+        queue = self._queue
+        if not queue or queue[0][0] > horizon:
+            return None
+        return heappop(queue)
+
+    def peek(self) -> float:
+        return self._queue[0][0] if self._queue else _INF
+
+    def entries(self) -> List[Entry]:
+        return self._queue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class CalendarScheduler(Scheduler):
+    """Calendar queue with an overflow ladder.
+
+    Storage invariants (``D`` = number of days, ``w`` = day width,
+    ``day(t) = int(t // w)``):
+
+    * Every calendar entry's day lies in ``[cursor, limit)`` where
+      ``limit - D <= cursor < limit``; day ``d`` lives in bucket
+      ``d % D``, and because the window spans at most ``D`` days no two
+      distinct days share a bucket.
+    * Every overflow entry's day is ``>= limit``, so the overflow
+      minimum is strictly later than every calendar entry.
+    * The cursor moves forward during pops/peeks and rewinds only when
+      a push lands below it (the window anchors on the queued minimum,
+      but pushes are bounded by the clock, which can be earlier).  A
+      rewind that would widen the live span past ``D`` days — aliasing
+      two days into one bucket — triggers a rebuild instead, so every
+      queued entry is always reachable by a forward scan.
+
+    Amortised O(1): a push is one bucket hash plus a list append; a pop
+    advances the cursor monotonically, so bucket scanning is paid once
+    per day per window rather than per pop.  Buckets are kept
+    *unsorted* until the cursor actually reaches them, then sorted
+    descending once (``_sorted_day`` tracks which day that was) so
+    every subsequent pop is a C-level ``list.pop()`` from the tail —
+    cheaper than per-entry heap maintenance for the few-entries-per-day
+    occupancy the width tuner targets.  A push into the currently
+    sorted bucket clears the marker and the next pop re-sorts.
+    Resizes (both directions) retune the day width from the observed
+    entry span, targeting ~2 entries per bucket, and rebuild in O(n).
+    """
+
+    name = "calendar"
+
+    __slots__ = (
+        "_width",
+        "_inv_width",
+        "_days",
+        "_mask",
+        "_buckets",
+        "_cursor",
+        "_limit",
+        "_cal_count",
+        "_overflow",
+        "_grow_at",
+        "_shrink_at",
+        "_floor_time",
+        "_sorted_day",
+        "resizes",
+    )
+
+    #: Resize up when calendar occupancy exceeds days * GROW_FACTOR,
+    #: down when the whole structure shrinks below days // SHRINK_DIV.
+    #: Days is always a power of two so the bucket hash is a bitmask.
+    _GROW_FACTOR = 2
+    _SHRINK_DIV = 8
+    _MIN_DAYS = 64
+    _MAX_DAYS = 1 << 16
+
+    def __init__(self, day_width: float = 1.0, days: int = _MIN_DAYS) -> None:
+        if day_width <= 0:
+            raise ValueError(f"day width must be positive, got {day_width}")
+        if days < 1:
+            raise ValueError(f"need at least one day, got {days}")
+        # Round up to a power of two so the bucket hash is a bitmask.
+        rounded = 1
+        while rounded < days:
+            rounded <<= 1
+        days = rounded
+        self._set_geometry(float(day_width), days)
+        self._buckets: List[List[Entry]] = [[] for _ in range(days)]
+        self._cursor = 0  # absolute day index the next pop scans from
+        self._limit = days  # first absolute day belonging to the overflow
+        self._cal_count = 0
+        self._overflow: List[Entry] = []
+        # Absolute day whose bucket is currently sorted (descending)
+        # for tail pops, or ``None`` when no bucket is in that state.
+        self._sorted_day: Optional[int] = None
+        # Largest popped time so far — the clock floor.  Future pushes
+        # are >= it (entries pop in sorted order and schedulers only see
+        # pushes at or after the consumer's current time), so window
+        # anchors can safely reserve slack down to this day for pushes
+        # below the queued minimum.  ``None`` until the first pop.
+        self._floor_time: Optional[float] = None
+        #: Resize/retune events so far (tests assert tuning engages).
+        self.resizes = 0
+
+    def _set_geometry(self, width: float, days: int) -> None:
+        self._width = width
+        self._days = days
+        # Hot-path precomputation: the day index is `int(t * inv_width)`
+        # — a multiply instead of a float floor-divide.  Any monotone,
+        # consistent time -> day mapping is correct (ordering comes from
+        # the per-bucket heaps and the monotone cursor), so the rounding
+        # difference versus true floor division is harmless as long as
+        # every site uses this one function.
+        self._inv_width = 1.0 / width
+        self._mask = days - 1  # days is a power of two
+        self._grow_at = days * self._GROW_FACTOR
+        self._shrink_at = (
+            days // self._SHRINK_DIV if days > self._MIN_DAYS else -1
+        )
+
+    def _day(self, time: float) -> int:
+        return int(time * self._inv_width)
+
+    # -- core operations ---------------------------------------------------
+    def push(self, entry: Entry, heappush=heappush) -> None:
+        day = int(entry[0] * self._inv_width)
+        limit = self._limit
+        if day < limit:
+            if day < self._cursor:
+                # Earlier than the scan cursor: the window was anchored
+                # on the queued minimum, but pushes are only bounded by
+                # the *clock* (>= the last popped time), which can be
+                # far earlier.  Rewinding is safe — re-scanning empty
+                # days costs time, never correctness — as long as the
+                # widened span [day, limit) stays alias-free.
+                if day >= limit - self._days:
+                    self._cursor = day
+                else:
+                    # Would alias two days into one bucket: rebuild the
+                    # window around the new minimum instead (rare).
+                    self._overflow.append(entry)  # _resize regathers
+                    self._resize()
+                    return
+            self._buckets[day & self._mask].append(entry)
+            if day == self._sorted_day:
+                # Appended behind a tail-pop bucket: re-sort on the
+                # next pop.
+                self._sorted_day = None
+            count = self._cal_count = self._cal_count + 1
+            if count > self._grow_at:
+                self._resize()
+        elif self._cal_count or self._overflow:
+            heappush(self._overflow, entry)
+        else:
+            # Whole structure empty: re-anchor the window on the new
+            # entry instead of pointlessly routing it to overflow,
+            # keeping a quarter-window of slack below it for pushes
+            # between the clock and this entry.
+            self._cursor = day
+            self._limit = day + self._days - (self._days >> 2)
+            self._buckets[day & self._mask].append(entry)
+            self._sorted_day = None
+            self._cal_count = 1
+
+    def pop(self) -> Optional[Entry]:
+        count = self._cal_count
+        if count == 0:
+            if not self._overflow:
+                return None
+            self._advance_to_overflow()
+            count = self._cal_count
+        buckets = self._buckets
+        mask = self._mask
+        cursor = self._cursor
+        while True:
+            bucket = buckets[cursor & mask]
+            if bucket:
+                break
+            cursor += 1
+        if cursor != self._sorted_day:
+            # First pop from this day (or a push dirtied it): one
+            # descending sort, then every pop is a C tail pop.
+            bucket.sort(reverse=True)
+            self._sorted_day = cursor
+        self._cursor = cursor
+        count = self._cal_count = count - 1
+        entry = bucket.pop()
+        self._floor_time = entry[0]
+        # Shrink on *total* population: the bucket count is sized from
+        # it, so when a huge overflow backlog keeps ``days`` large a
+        # small calendar window is expected, not a shrink trigger
+        # (treating it as one re-runs the O(n) rebuild on every pop).
+        if count < self._shrink_at and count + len(self._overflow) < self._shrink_at:
+            self._resize()
+        return entry
+
+    def pop_at_most(self, horizon: float) -> Optional[Entry]:
+        if self._cal_count == 0:
+            if not self._overflow or self._overflow[0][0] > horizon:
+                # Do not move the window: entries at times <= the
+                # overflow minimum may still be pushed and must land in
+                # the calendar ahead of it.
+                return None
+            self._advance_to_overflow()
+        buckets = self._buckets
+        mask = self._mask
+        cursor = self._cursor
+        while True:
+            bucket = buckets[cursor & mask]
+            if bucket:
+                break
+            cursor += 1
+        if cursor != self._sorted_day:
+            bucket.sort(reverse=True)
+            self._sorted_day = cursor
+        if bucket[-1][0] > horizon:
+            # Commit the scan, but never past the horizon's own day:
+            # future pushes are >= the horizon time, not >= bucket[-1].
+            horizon_day = int(horizon * self._inv_width)
+            self._cursor = max(self._cursor, min(cursor, horizon_day))
+            return None
+        self._cursor = cursor
+        count = self._cal_count = self._cal_count - 1
+        entry = bucket.pop()
+        self._floor_time = entry[0]
+        # See pop(): shrink decisions are made on the total population.
+        if count < self._shrink_at and count + len(self._overflow) < self._shrink_at:
+            self._resize()
+        return entry
+
+    def peek(self) -> float:
+        if self._cal_count == 0:
+            return self._overflow[0][0] if self._overflow else _INF
+        buckets = self._buckets
+        mask = self._mask
+        cursor = self._cursor
+        while True:
+            bucket = buckets[cursor & mask]
+            if bucket:
+                break
+            cursor += 1
+        if cursor != self._sorted_day:
+            bucket.sort(reverse=True)
+            self._sorted_day = cursor
+        # Committing the scan is safe: the skipped days are empty and
+        # in the past relative to the next event.
+        self._cursor = cursor
+        return bucket[-1][0]
+
+    def entries(self) -> List[Entry]:
+        gathered: List[Entry] = []
+        for bucket in self._buckets:
+            gathered.extend(bucket)
+        gathered.extend(self._overflow)
+        return gathered
+
+    def __len__(self) -> int:
+        return self._cal_count + len(self._overflow)
+
+    # -- window management -------------------------------------------------
+    def _advance_to_overflow(self) -> None:
+        """Calendar drained: jump the window to the overflow minimum and
+        promote every overflow entry that now fits."""
+        start = self._day(self._overflow[0][0])
+        self._cursor = start
+        self._sorted_day = None
+        limit = self._limit = self._window_limit(start)
+        overflow = self._overflow
+        buckets = self._buckets
+        mask = self._mask
+        day_of = self._day
+        while overflow and day_of(overflow[0][0]) < limit:
+            entry = heappop(overflow)
+            buckets[day_of(entry[0]) & mask].append(entry)
+            self._cal_count += 1
+
+    def _resize(self) -> None:
+        """Rebuild with a bucket count sized to the population and a day
+        width tuned from the observed entry span (~2 entries/bucket)."""
+        everything = self.entries()
+        count = len(everything)
+        days = self._MIN_DAYS
+        while days < count and days < self._MAX_DAYS:
+            days <<= 1
+        self._set_geometry(self._tuned_width(everything), days)
+        self._buckets = [[] for _ in range(days)]
+        self._overflow = []
+        self._cal_count = 0
+        self._sorted_day = None
+        if everything:
+            day_of = self._day
+            start = min(day_of(entry[0]) for entry in everything)
+            self._cursor = start
+            limit = self._limit = self._window_limit(start)
+            buckets = self._buckets
+            overflow = self._overflow
+            for entry in everything:
+                day = day_of(entry[0])
+                if day >= limit:
+                    heappush(overflow, entry)
+                else:
+                    buckets[day & self._mask].append(entry)
+                    self._cal_count += 1
+        else:
+            self._cursor = 0
+            self._limit = days
+        self.resizes += 1
+
+    def _window_limit(self, start: int) -> int:
+        """Overflow boundary for a window whose minimum entry sits at
+        day ``start``.
+
+        Anchored a quarter-window *below* ``min(start, clock floor)``:
+        pushes between the clock and the queued minimum then take the
+        O(1) cursor rewind in ``push`` instead of re-triggering an O(n)
+        rebuild every time one lands a day below the previous anchor.
+        Clamped so the window always covers ``start`` itself (when the
+        floor is more than a window behind, far entries simply stay in
+        overflow until the clock catches up).
+        """
+        anchor = start
+        if self._floor_time is not None:
+            floor_day = self._day(self._floor_time)
+            if floor_day < anchor:
+                anchor = floor_day
+        return max(start + 1, anchor + self._days - (self._days >> 2))
+
+    def _tuned_width(self, everything: List[Entry]) -> float:
+        """Day width from observed inter-event gaps: spread the (outlier-
+        trimmed) span over half the population, i.e. ~2 entries/day."""
+        count = len(everything)
+        if count < 2:
+            return self._width
+        times = sorted(entry[0] for entry in everything)
+        # Trim the far tail so one distant timer cannot inflate the
+        # width until every near-future day collapses into one bucket.
+        hi = times[(count - 1) * 19 // 20]
+        span = hi - times[0]
+        if span <= 0.0:
+            return self._width
+        width = 2.0 * span / count
+        # Guard against degenerate tiny widths that would overflow the
+        # day index for large timestamps.
+        return max(width, times[-1] * 1e-12, 1e-12)
+
+
+_SCHEDULERS = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Registry names accepted by :func:`make_scheduler`."""
+    return sorted(_SCHEDULERS)
+
+
+def make_scheduler(spec: Union[None, str, Scheduler] = None) -> Scheduler:
+    """Build the scheduler ``spec`` names.
+
+    ``None`` defers to the ``REPRO_SCHEDULER`` environment variable and
+    then to :data:`DEFAULT_SCHEDULER`; a string is looked up in the
+    registry; a :class:`Scheduler` instance is used as-is (it must be
+    empty — schedulers are per-environment).
+    """
+    if spec is None:
+        spec = os.environ.get(SCHEDULER_ENV_VAR) or DEFAULT_SCHEDULER
+    if isinstance(spec, Scheduler):
+        if len(spec):
+            raise ValueError("a scheduler instance must be empty when attached")
+        return spec
+    try:
+        factory = _SCHEDULERS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown scheduler {spec!r}; available: "
+            f"{', '.join(available_schedulers())}"
+        ) from None
+    return factory()

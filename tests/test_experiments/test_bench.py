@@ -174,6 +174,112 @@ class TestNewCells:
         meta = document["benchmarks"]["timer_elision"]["meta"]
         assert meta["dead_pops"] == meta["races"] > 0
 
+    def test_scheduler_churn_defaults_to_calendar(self):
+        document = run_suite(quick=True, repeats=1, names=["scheduler_churn"])
+        meta = document["benchmarks"]["scheduler_churn"]["meta"]
+        assert meta["scheduler"] == "calendar"
+        assert meta["events_fired"] > 0
+        # Half the pops are dead guard entries (1:1 cancel-to-fire).
+        assert meta["dead_pops"] > 0
+        assert meta["events_fired"] + meta["dead_pops"] == meta["nominal_events"]
+
+    def test_scheduler_churn_ab_flag(self, monkeypatch):
+        import repro.experiments.bench as bench
+
+        monkeypatch.setattr(bench, "BENCH_SCHEDULER", "heap")
+        document = run_suite(quick=True, repeats=1, names=["scheduler_churn"])
+        meta = document["benchmarks"]["scheduler_churn"]["meta"]
+        assert meta["scheduler"] == "heap"
+
+    def test_batched_fanout_meta(self):
+        document = run_suite(quick=True, repeats=1, names=["batched_fanout"])
+        meta = document["benchmarks"]["batched_fanout"]["meta"]
+        # The shared bench network partitions two nodes off, so most
+        # but not all of the fan-out lands.
+        assert 0 < meta["delivered"] < meta["rounds"] * meta["fanout"]
+        assert meta["delivered"] % meta["rounds"] == 0
+
+
+class TestSchedulerCli:
+    def test_list_prints_cells_and_coverage(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "benchmarks": {"reachable": {"median": 1.0, "best": 1.0}},
+                }
+            )
+        )
+        rc = main(["--list", "--baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in BENCHMARKS:
+            assert name in out
+        assert "MISSING" in out  # every cell but reachable is uncovered
+        assert "--record-missing" in out  # the record-on-missing hint
+
+    def test_scheduler_flag_sets_and_restores_env(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.experiments.bench import SCHEDULER_ENV_VAR
+
+        monkeypatch.delenv(SCHEDULER_ENV_VAR, raising=False)
+        rc = main(
+            [
+                "reachable",
+                "--quick",
+                "--repeats",
+                "1",
+                "--scheduler",
+                "calendar",
+                "--baseline",
+                str(tmp_path / "missing.json"),
+                "--record",
+                "--out",
+                str(tmp_path),
+                "--no-artifact",
+            ]
+        )
+        assert rc == 0
+        assert SCHEDULER_ENV_VAR not in os.environ  # restored afterwards
+
+    def test_record_missing_merges_without_touching_existing(
+        self, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        existing = {"median": 123.0, "best": 123.0}
+        baseline.write_text(
+            json.dumps(
+                {"schema": BENCH_SCHEMA, "benchmarks": {"reachable": existing}}
+            )
+        )
+        rc = main(
+            [
+                "reachable",
+                "scheduler_churn",
+                "--quick",
+                "--repeats",
+                "1",
+                "--retries",
+                "0",
+                "--baseline",
+                str(baseline),
+                "--record-missing",
+                "--out",
+                str(tmp_path),
+                "--no-artifact",
+            ]
+        )
+        # reachable regresses against the absurd 123 s baseline?  No —
+        # 123 s is huge, so reachable passes easily; the run must merge
+        # only the uncovered cell.
+        assert rc == 0
+        document = json.loads(baseline.read_text())
+        assert document["benchmarks"]["reachable"] == existing
+        assert "scheduler_churn" in document["benchmarks"]
+        assert document["benchmarks"]["scheduler_churn"]["best"] > 0
+
 
 class TestRetryGate:
     def test_flagged_regression_is_remeasured_then_fails(self, tmp_path, capsys):

@@ -7,6 +7,7 @@ from typing import Any, List, Tuple
 
 import pytest
 
+from repro.sim.engine import Environment
 from repro.sim.network import (
     FixedLatency,
     Network,
@@ -14,7 +15,7 @@ from repro.sim.network import (
     UniformLatency,
 )
 from repro.sim.node import Node
-from repro.sim.trace import TraceKind
+from repro.sim.trace import TraceKind, Tracer
 
 
 class Recorder(Node):
@@ -170,6 +171,118 @@ class TestDrops:
     def test_invalid_loss_rate_rejected(self, env):
         with pytest.raises(ValueError):
             Network(env, loss_rate=1.0)
+
+
+def _world(seed: int = 7, latency=None, **net_kwargs):
+    """A fresh 4-node world with a logging tracer and a seeded rng, so
+    two identically-seeded worlds evolve identically."""
+    env = Environment()
+    tracer = Tracer(env, keep_log=True)
+    network = Network(
+        env,
+        latency=latency or FixedLatency(0.05),
+        tracer=tracer,
+        rng=random.Random(seed),
+        **net_kwargs,
+    )
+    nodes = [Recorder(f"n{i}") for i in range(4)]
+    for node in nodes:
+        network.register(node)
+    return env, tracer, network, nodes
+
+
+class TestSendMany:
+    """``send_many`` must be observably identical to a ``send`` loop."""
+
+    ITEMS = [(f"n{i}", ("payload", i)) for i in (1, 2, 3, 1)]
+
+    def _run_both(self, **net_kwargs):
+        batched = _world(**net_kwargs)
+        unbatched = _world(**net_kwargs)
+        batched[2].send_many("n0", self.ITEMS)
+        for dst, message in self.ITEMS:
+            unbatched[2].send("n0", dst, message)
+        batched[0].run()
+        unbatched[0].run()
+        return batched, unbatched
+
+    def _observables(self, world):
+        env, tracer, network, nodes = world
+        return (
+            [node.received for node in nodes],
+            network.messages_sent,
+            network.messages_dropped,
+            network.messages_duplicated,
+            network.messages_delivered,
+            tracer.counts(),
+        )
+
+    def test_matches_unbatched_loop(self):
+        batched, unbatched = self._run_both()
+        assert self._observables(batched) == self._observables(unbatched)
+
+    def test_matches_loop_under_loss_and_duplication(self):
+        batched, unbatched = self._run_both(loss_rate=0.3, duplicate_rate=0.3)
+        assert self._observables(batched) == self._observables(unbatched)
+
+    def test_matches_loop_when_source_down(self):
+        batched = _world()
+        unbatched = _world()
+        batched[3][0].crash()
+        unbatched[3][0].crash()
+        batched[2].send_many("n0", self.ITEMS)
+        for dst, message in self.ITEMS:
+            unbatched[2].send("n0", dst, message)
+        batched[0].run()
+        unbatched[0].run()
+        assert self._observables(batched) == self._observables(unbatched)
+        assert batched[2].messages_dropped == len(self.ITEMS)
+
+    def test_matches_loop_with_stochastic_latency(self):
+        # Per-destination delays differ, so batching is impossible; the
+        # fallback must still consume the rng in exactly send()'s order.
+        kwargs = {"latency": UniformLatency(0.01, 0.09)}
+        batched, unbatched = self._run_both(**kwargs)
+        assert self._observables(batched) == self._observables(unbatched)
+
+    def test_self_destination_falls_back(self):
+        items = [("n1", "a"), ("n0", "loopback"), ("n2", "b")]
+        env, _tracer, network, nodes = _world()
+        network.send_many("n0", items)
+        env.run()
+        # Self-delivery is instant; the rest land at the fixed latency.
+        assert nodes[0].received == [(0.0, "n0", "loopback")]
+        assert nodes[1].received == [(0.05, "n0", "a")]
+        assert nodes[2].received == [(0.05, "n0", "b")]
+
+    def test_batch_is_one_scheduler_insertion(self):
+        env, _tracer, network, _nodes = _world()
+        before = len(env._queue)
+        network.send_many("n0", self.ITEMS)
+        assert len(env._queue) == before + 1  # vs one entry per message
+
+    def test_on_sent_runs_per_item_even_for_drops(self):
+        env, _tracer, network, nodes = _world()
+        nodes[0].crash()
+        sent = []
+        network.send_many("n0", self.ITEMS, on_sent=lambda d, m: sent.append((d, m)))
+        env.run()
+        assert sent == self.ITEMS
+
+    def test_unknown_destination_raises(self):
+        _env, _tracer, network, _nodes = _world()
+        with pytest.raises(ValueError):
+            network.send_many("n0", [("n1", "ok"), ("ghost", "boom")])
+
+    def test_unknown_source_raises(self):
+        _env, _tracer, network, _nodes = _world()
+        with pytest.raises(ValueError):
+            network.send_many("ghost", [("n1", "x")])
+
+    def test_node_send_many_requires_attachment(self):
+        lonely = Recorder("lonely")
+        with pytest.raises(RuntimeError):
+            lonely.send_many([("n1", "x")])
 
 
 class TestTraceIntegration:

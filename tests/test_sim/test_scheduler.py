@@ -1,0 +1,311 @@
+"""Unit tests for the pluggable schedulers and engine edge cases.
+
+The scheduler-level tests drive ``HeapScheduler``/``CalendarScheduler``
+directly through the ``push``/``pop`` interface and assert the one
+contract that matters: entries come back in exactly ``sorted(entries)``
+order.  The engine-level tests exercise the edge cases the calendar
+structure makes interesting — zero-delay self-reschedules (current-day
+inserts during a drain), far-future timers (overflow-ladder promotion),
+cancel-then-reinsert churn, and ``run(until=...)`` termination on an
+empty queue — parametrized over both schedulers.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.scheduler import (
+    DEFAULT_SCHEDULER,
+    SCHEDULER_ENV_VAR,
+    CalendarScheduler,
+    HeapScheduler,
+    Scheduler,
+    available_schedulers,
+    make_scheduler,
+)
+
+SCHEDULERS = available_schedulers()
+
+
+def drain(scheduler: Scheduler):
+    out = []
+    while True:
+        entry = scheduler.pop()
+        if entry is None:
+            break
+        out.append(entry)
+    return out
+
+
+class TestMakeScheduler:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv(SCHEDULER_ENV_VAR, raising=False)
+        assert DEFAULT_SCHEDULER == "heap"
+        assert isinstance(make_scheduler(), HeapScheduler)
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+        assert isinstance(make_scheduler(), CalendarScheduler)
+        # An explicit argument beats the environment variable.
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+
+    def test_empty_env_var_falls_back(self, monkeypatch):
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "")
+        assert isinstance(make_scheduler(), HeapScheduler)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="calendar.*heap|heap.*calendar"):
+            make_scheduler("splay")
+
+    def test_instance_passthrough(self):
+        scheduler = CalendarScheduler()
+        assert make_scheduler(scheduler) is scheduler
+
+    def test_nonempty_instance_rejected(self):
+        scheduler = HeapScheduler()
+        scheduler.push((1.0, 0, None))
+        with pytest.raises(ValueError, match="empty"):
+            make_scheduler(scheduler)
+
+    def test_registry_names(self):
+        assert SCHEDULERS == ["calendar", "heap"]
+
+
+@pytest.mark.parametrize("name", SCHEDULERS)
+class TestSchedulerContract:
+    def test_empty_pops_none(self, name):
+        scheduler = make_scheduler(name)
+        assert scheduler.pop() is None
+        assert scheduler.pop_at_most(1e9) is None
+        assert scheduler.peek() == float("inf")
+        assert len(scheduler) == 0
+
+    def test_sorted_order_random_times(self, name):
+        rng = random.Random(42)
+        scheduler = make_scheduler(name)
+        entries = [(rng.uniform(0.0, 500.0), eid, None) for eid in range(2000)]
+        for entry in entries:
+            scheduler.push(entry)
+        assert len(scheduler) == 2000
+        assert sorted(scheduler.entries()) == sorted(entries)
+        assert drain(scheduler) == sorted(entries)
+
+    def test_ties_break_on_eid(self, name):
+        scheduler = make_scheduler(name)
+        for eid in (5, 3, 9, 1):
+            scheduler.push((7.0, eid, None))
+        assert [entry[1] for entry in drain(scheduler)] == [1, 3, 5, 9]
+
+    def test_interleaved_push_pop_monotone(self, name):
+        # Pops never go backwards even when pushes land at the current
+        # instant between pops (the zero-delay shape).
+        rng = random.Random(7)
+        scheduler = make_scheduler(name)
+        eid = 0
+        for _ in range(64):
+            scheduler.push((rng.uniform(0.0, 50.0), eid, None))
+            eid += 1
+        popped = []
+        now = 0.0
+        for _ in range(4000):
+            entry = scheduler.pop()
+            if entry is None:
+                break
+            assert entry[0] >= now
+            now = entry[0]
+            popped.append(entry)
+            if len(popped) < 2000:
+                scheduler.push((now + rng.choice([0.0, 0.1, 8.0]), eid, None))
+                eid += 1
+        assert popped == sorted(popped)
+        assert scheduler.pop() is None
+
+    def test_pop_at_most_respects_horizon(self, name):
+        scheduler = make_scheduler(name)
+        scheduler.push((1.0, 0, None))
+        scheduler.push((2.0, 1, None))
+        assert scheduler.pop_at_most(0.5) is None
+        assert scheduler.pop_at_most(1.0) == (1.0, 0, None)
+        assert scheduler.pop_at_most(1.5) is None
+        # A later push below the old horizon must still come out first.
+        scheduler.push((1.25, 2, None))
+        assert scheduler.pop_at_most(2.0) == (1.25, 2, None)
+        assert scheduler.pop_at_most(2.0) == (2.0, 1, None)
+        assert scheduler.pop_at_most(2.0) is None
+
+
+class TestCalendarInternals:
+    def test_far_future_lands_in_overflow_and_promotes(self):
+        scheduler = CalendarScheduler(day_width=1.0, days=64)
+        near = (3.0, 0, None)
+        far = (1e6, 1, None)
+        scheduler.push(near)
+        scheduler.push(far)
+        assert len(scheduler._overflow) == 1
+        assert scheduler.pop() == near
+        # Draining the calendar must rebase the window onto the
+        # overflow minimum and promote it.
+        assert scheduler.pop() == far
+        assert scheduler.pop() is None
+
+    def test_resize_engages_and_keeps_order(self):
+        rng = random.Random(3)
+        scheduler = CalendarScheduler()
+        entries = [(rng.uniform(0.0, 10_000.0), eid, None) for eid in range(5000)]
+        for entry in entries:
+            scheduler.push(entry)
+        assert scheduler.resizes > 0
+        assert drain(scheduler) == sorted(entries)
+
+    def test_width_retunes_to_population(self):
+        scheduler = CalendarScheduler(day_width=1000.0)
+        for eid in range(1000):
+            scheduler.push((eid * 0.001, eid, None))
+        # The initial width would cram every entry into one day; after
+        # the growth resizes the width must track the observed gaps.
+        assert scheduler._width < 1000.0
+        assert len(scheduler) == 1000
+
+    def test_empty_structure_reanchors_on_push(self):
+        scheduler = CalendarScheduler(day_width=1.0, days=64)
+        scheduler.push((1e9, 0, None))  # far beyond the initial window
+        assert not scheduler._overflow  # re-anchored, not overflowed
+        assert scheduler.pop() == (1e9, 0, None)
+
+    def test_push_below_window_anchor_rebuilds(self):
+        # Prefill only far-future entries: the growth resizes anchor
+        # the window on their minimum.  Near-now pushes then land far
+        # below the cursor and must still drain in sorted order
+        # (regression: they used to alias into already-passed buckets).
+        scheduler = CalendarScheduler()
+        ballast = [(50.0 + i * 0.001, i, None) for i in range(1000)]
+        for entry in ballast:
+            scheduler.push(entry)
+        near = [(0.25, 5000, None), (1.5, 5001, None), (49.0, 5002, None)]
+        for entry in near:
+            scheduler.push(entry)
+        assert drain(scheduler) == sorted(ballast + near)
+
+    def test_push_slightly_below_cursor_rewinds(self):
+        # The alias-free rewind branch: the cursor advanced past a day
+        # via peek, then a push lands just behind it.
+        scheduler = CalendarScheduler(day_width=1.0, days=64)
+        scheduler.push((100.0, 0, None))
+        scheduler.push((160.0, 1, None))
+        assert scheduler.pop() == (100.0, 0, None)
+        assert scheduler.peek() == 160.0  # commits the cursor forward
+        scheduler.push((120.0, 2, None))
+        assert drain(scheduler) == [(120.0, 2, None), (160.0, 1, None)]
+
+    def test_overflow_backlog_does_not_shrink_storm(self):
+        # When ``days`` is pinned at its cap, a large far-future backlog
+        # stays in overflow and the calendar window is legitimately
+        # small.  The shrink trigger must key on the *total* population
+        # (regression: keying on the window count alone re-ran the O(n)
+        # rebuild on every subsequent pop).
+        class SmallCalendar(CalendarScheduler):
+            _MAX_DAYS = 256
+
+        scheduler = SmallCalendar()
+        entries = [(i * 0.01, i, None) for i in range(100)]
+        entries += [(50.0 + i * 0.0005, 1000 + i, None) for i in range(2000)]
+        for entry in entries:
+            scheduler.push(entry)
+        before = scheduler.resizes
+        popped = [scheduler.pop() for _ in range(200)]
+        assert popped == sorted(entries)[:200]
+        assert scheduler.resizes - before <= 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(day_width=0.0)
+        with pytest.raises(ValueError):
+            CalendarScheduler(days=0)
+
+
+@pytest.mark.parametrize("name", SCHEDULERS)
+class TestEngineEdgeCases:
+    def test_zero_delay_self_reschedule(self, name):
+        env = Environment(scheduler=name)
+        fired = []
+
+        def spinner():
+            for step in range(5):
+                yield env.timeout(0.0)
+                fired.append((env.now, step))
+            yield env.timeout(1.0)
+            fired.append((env.now, "later"))
+
+        env.process(spinner())
+        env.run()
+        assert fired == [(0.0, 0), (0.0, 1), (0.0, 2), (0.0, 3), (0.0, 4),
+                         (1.0, "later")]
+
+    def test_far_future_overflow_promotion(self, name):
+        env = Environment(scheduler=name)
+        fired = []
+
+        def program():
+            yield env.timeout(0.5)
+            fired.append(env.now)
+            yield env.timeout(1e7)  # far outside any initial window
+            fired.append(env.now)
+            yield env.timeout(0.25)
+            fired.append(env.now)
+
+        env.process(program())
+        env.run()
+        assert fired == [0.5, 1e7 + 0.5, 1e7 + 0.75]
+
+    def test_cancel_then_reinsert_same_event(self, name):
+        env = Environment(scheduler=name)
+        log = []
+        # Cancelling a timer and scheduling a replacement at the same
+        # instant must not disturb ordering around the dead entry.
+        loser = env.timeout(2.0)
+        loser.cancel()
+        replacement = env.timeout(2.0, value="replacement")
+        replacement.add_callback(lambda event: log.append((env.now, event.value)))
+        env.timeout(3.0, value="after").add_callback(
+            lambda event: log.append((env.now, event.value))
+        )
+        env.run()
+        assert log == [(2.0, "replacement"), (3.0, "after")]
+        assert env.dead_pops == 1
+        assert env.now == 3.0
+
+    def test_empty_queue_run_until_terminates(self, name):
+        env = Environment(scheduler=name)
+        env.run(until=12.5)
+        assert env.now == 12.5
+        # And again: back-to-back horizons stay contiguous with nothing
+        # queued.
+        env.run(until=20.0)
+        assert env.now == 20.0
+
+    def test_run_until_then_drain(self, name):
+        env = Environment(scheduler=name)
+        fired = []
+        for delay in (1.0, 4.0, 9.0):
+            env.timeout(delay, value=delay).add_callback(
+                lambda event: fired.append(event.value)
+            )
+        env.run(until=5.0)
+        assert fired == [1.0, 4.0]
+        assert env.now == 5.0
+        env.run()
+        assert fired == [1.0, 4.0, 9.0]
+        assert env.now == 9.0
+
+    def test_dead_pops_counted_per_scheduler(self, name):
+        env = Environment(scheduler=name)
+        for _ in range(10):
+            env.timeout(1.0).cancel()
+        env.timeout(2.0)
+        env.run()
+        assert env.dead_pops == 10
+        assert env.now == 2.0
+        assert env.scheduler_name == name
