@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare profile experiments examples all clean
+.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare net-smoke profile experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -39,6 +39,18 @@ bench-baseline:
 
 bench-compare:
 	PYTHONPATH=src python -m repro bench --repeats 5
+
+# Boot a live cell, hit it with a closed-loop load burst, then run the
+# sim<->socket differential suite (slow fuzz sample included).
+net-smoke:
+	rm -f /tmp/repro-cell.json
+	PYTHONPATH=src python -m repro serve --role cell --managers 3 --hosts 2 \
+		--secret smoke --port-file /tmp/repro-cell.json --run-for 120 & pid=$$!; \
+	for i in $$(seq 1 50); do [ -f /tmp/repro-cell.json ] && break; sleep 0.2; done; \
+	PYTHONPATH=src python -m repro load --port-file /tmp/repro-cell.json \
+		--secret smoke --clients 4 --duration 5; status=$$?; \
+	kill $$pid 2>/dev/null; rm -f /tmp/repro-cell.json; exit $$status
+	PYTHONPATH=src python -m pytest -q tests/test_net -m ""
 
 # cProfile the message-heaviest bench cell; stats land in
 # benchmarks/repro-bench.prof (readable with `python -m pstats`).

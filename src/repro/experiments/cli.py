@@ -149,6 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..net.serve import main as serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "load":
+        from ..net.load import main as load_main
+
+        return load_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description=(

@@ -1,0 +1,75 @@
+"""Live service runtime: the paper's protocol over real TCP sockets.
+
+One codebase, two backends.  The protocol strategies in
+:mod:`repro.protocols` and the node shells in :mod:`repro.core` are
+written against the :class:`~repro.net.transport.Transport` interface;
+this package supplies the *socket* implementation of it:
+
+* :mod:`repro.net.transport` — the backend-agnostic interface (the sim
+  :class:`~repro.sim.network.Network` is the other implementation);
+* :mod:`repro.net.codec` — tagged-JSON wire codec and length-prefixed
+  framing for every protocol message;
+* :mod:`repro.net.session` — HMAC-SHA256 session authentication with
+  replay-nonce and expiry windows (per the sidecar auth ADR);
+* :mod:`repro.net.tcp` — :class:`SocketTransport`, frames over asyncio
+  TCP streams;
+* :mod:`repro.net.runtime` — :class:`LiveRuntime`, the wall-clock
+  driver that advances a node's private simulation environment in real
+  time;
+* :mod:`repro.net.cell` — :class:`LiveCell`, an in-process
+  M-manager/N-host localhost deployment (the differential-test target);
+* :mod:`repro.net.scenario` — barrier-sequenced scenario programs run
+  identically through the sim and socket backends;
+* :mod:`repro.net.serve` / :mod:`repro.net.load` — the ``repro serve``
+  and ``repro load`` CLI entry points.
+
+Everything below :mod:`repro.net.transport` is imported lazily: the sim
+network imports the interface module, and pulling asyncio machinery
+into every simulation run would be both wasteful and a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .transport import ReplyTable, Transport, request, retry_until_acked
+
+__all__ = [
+    "Transport",
+    "ReplyTable",
+    "request",
+    "retry_until_acked",
+    "encode_message",
+    "decode_message",
+    "encode_frame",
+    "FrameReader",
+    "SessionAuth",
+    "AuthError",
+    "SocketTransport",
+    "LiveRuntime",
+    "LiveCell",
+]
+
+_LAZY = {
+    "encode_message": "codec",
+    "decode_message": "codec",
+    "encode_frame": "codec",
+    "FrameReader": "codec",
+    "SessionAuth": "session",
+    "AuthError": "session",
+    "SocketTransport": "tcp",
+    "LiveRuntime": "runtime",
+    "LiveCell": "cell",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

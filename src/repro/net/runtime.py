@@ -1,0 +1,189 @@
+""":class:`LiveRuntime` — a wall-clock driver for the protocol engine.
+
+The whole protocol layer is written as generator processes over the
+discrete-event :class:`~repro.sim.engine.Environment`.  Instead of
+porting that code to asyncio, a live endpoint keeps a *private*
+environment and advances it in real time: a driver task repeatedly
+
+1. runs callbacks handed in from other tasks (:meth:`call_soon`),
+2. delivers queued inbound messages (``handle_message`` executes the
+   same protocol code the simulator runs),
+3. advances the environment to ``sim_target = elapsed_wall x
+   time_scale`` (firing due timers: retries, cache expiry, freeze
+   pings),
+4. sleeps until the next scheduled timer or an inbound frame wakes it.
+
+``time_scale`` compresses simulated seconds into wall time, so a test
+cell with multi-second protocol timeouts settles in tens of
+milliseconds while real sockets stay in the loop.  One runtime hosts
+one or more nodes on one :class:`~repro.net.tcp.SocketTransport`; the
+driver task is the only place environment time advances, so protocol
+code never races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..sim.engine import Environment
+from ..sim.trace import Tracer
+from .session import DEFAULT_LIFETIME
+from .tcp import LiveConnectivity, SocketTransport
+
+__all__ = ["LiveRuntime"]
+
+#: Wall-clock cap on one driver sleep — a safety valve so a missed wake
+#: (or an externally-mutated environment) is noticed promptly.
+_POLL_CAP = 0.05
+
+
+class LiveRuntime:
+    """Drives one endpoint's private environment in wall-clock time."""
+
+    def __init__(
+        self,
+        secret: bytes,
+        time_scale: float = 1.0,
+        lifetime: float = DEFAULT_LIFETIME,
+        connectivity: Optional[LiveConnectivity] = None,
+        keep_log: bool = False,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.env = Environment()
+        self.tracer = Tracer(self.env, keep_log=keep_log)
+        self.time_scale = float(time_scale)
+        self.transport = SocketTransport(
+            self, secret, lifetime=lifetime, connectivity=connectivity
+        )
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._inbox: Deque[Tuple[str, str, Any]] = deque()
+        self._calls: Deque[Callable[[], None]] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._driver: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the frame server, start the driver; returns the bound port."""
+        self.loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        bound = await self.transport.start_server(host, port)
+        self._driver = self.loop.create_task(self._drive(), name="live-driver")
+        return bound
+
+    async def stop(self) -> None:
+        self._stopping = True
+        self.wake()
+        if self._driver is not None:
+            await self._driver
+            self._driver = None
+        await self.transport.close()
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.transport.port
+
+    # -- wiring --------------------------------------------------------------
+    def register(self, node: Any) -> Any:
+        return self.transport.register(node)
+
+    def set_peers(self, directory: Dict[str, Tuple[str, int]]) -> None:
+        self.transport.set_peers(directory)
+
+    # -- cross-task entry points ----------------------------------------------
+    def deliver(self, src: str, dst: str, message: Any) -> None:
+        """Queue an inbound message for asynchronous delivery."""
+        self._inbox.append((src, dst, message))
+        self.wake()
+
+    def call_soon(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` inside the driver task before the next advance."""
+        self._calls.append(fn)
+        self.wake()
+
+    def wake(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    def when(self, event: Any) -> "asyncio.Future[Any]":
+        """An asyncio future resolved when a sim event is processed.
+
+        Works for any :class:`~repro.sim.engine.Event`, including
+        :class:`~repro.sim.engine.Process` completion.  The callback
+        runs inside the driver task; the future resolves with the
+        event's value (or its exception, if the event failed).
+        """
+        assert self.loop is not None, "runtime not started"
+        future: "asyncio.Future[Any]" = self.loop.create_future()
+
+        def _resolve(ev: Any) -> None:
+            if future.done():
+                return
+            if ev.ok:
+                future.set_result(ev.value)
+            else:
+                future.set_exception(ev.value)
+
+        self.call_soon(lambda: event.add_callback(_resolve))
+        return future
+
+    def run_process(self, generator: Any, name: Optional[str] = None) -> "asyncio.Future[Any]":
+        """Start a protocol generator in this runtime; await its result."""
+        assert self.loop is not None, "runtime not started"
+        future: "asyncio.Future[Any]" = self.loop.create_future()
+
+        def _start() -> None:
+            process = self.env.process(generator, name=name or "live-call")
+
+            def _resolve(ev: Any) -> None:
+                if future.done():
+                    return
+                if ev.ok:
+                    future.set_result(ev.value)
+                else:
+                    future.set_exception(ev.value)
+
+            process.add_callback(_resolve)
+
+        self.call_soon(_start)
+        return future
+
+    async def wait_until(self, sim_target: float, poll: float = 0.005) -> None:
+        """Block until this runtime's environment reaches ``sim_target``."""
+        while self.env.now < sim_target:
+            await asyncio.sleep(poll)
+
+    # -- the driver ------------------------------------------------------------
+    async def _drive(self) -> None:
+        assert self.loop is not None and self._wake is not None
+        # Anchor wall time so sim time resumes from env.now (always 0 in
+        # practice, but harmless to honour).
+        origin = self.loop.time() - self.env.now / self.time_scale
+        while not self._stopping:
+            while self._calls:
+                self._calls.popleft()()
+            while self._inbox:
+                src, dst, message = self._inbox.popleft()
+                self.transport._deliver_now(src, dst, message)
+            target = (self.loop.time() - origin) * self.time_scale
+            # Advance through due timers; also flushes zero-delay events
+            # scheduled by the deliveries above when the clock has not
+            # moved (run(until=now) processes this instant's queue).
+            self.env.run(until=max(self.env.now, target))
+            if self._calls or self._inbox or self._stopping:
+                continue
+            next_at = self.env.peek()
+            sim_now = (self.loop.time() - origin) * self.time_scale
+            if math.isinf(next_at):
+                delay = _POLL_CAP
+            else:
+                delay = min(max((next_at - sim_now) / self.time_scale, 0.0), _POLL_CAP)
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=max(delay, 0.0005))
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()

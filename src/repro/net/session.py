@@ -1,0 +1,148 @@
+"""HMAC session authentication for the socket transport.
+
+Per the sidecar auth ADR (SNIPPETS.md, ADR-002 option C): the RSA
+signatures inside the protocol authenticate *principals* end-to-end
+(a manager signing its query responses, a user signing an admin
+request); this layer authenticates the *session* hop-by-hop, so a
+localhost cell is not an open relay.  Every frame body is
+
+    ``mac(32 raw bytes) || envelope(JSON)``
+
+where the envelope is ``{"d": recipient, "n": nonce, "p": payload,
+"s": sender, "t": issued_at}`` in canonical JSON and the mac is
+HMAC-SHA256 over the envelope under the cell's shared secret.  Receivers enforce three
+properties, each with its own rejection counter:
+
+* **tampered** — mac does not verify (constant-time compare);
+* **replayed** — per-sender nonces must be strictly increasing;
+* **expired** — ``issued_at`` is outside the lifetime window of the
+  receiver's clock (either direction, so a wildly future-dated frame
+  cannot pre-burn nonces).
+
+A rejection raises :class:`AuthError`; the transport traces it and
+drops the frame without disturbing the server loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["AuthError", "SessionAuth", "MAC_BYTES", "DEFAULT_LIFETIME"]
+
+#: Raw HMAC-SHA256 digest length prepended to every envelope.
+MAC_BYTES = hashlib.sha256().digest_size
+
+#: Default session-frame lifetime, in seconds of receiver wall-clock.
+DEFAULT_LIFETIME = 30.0
+
+
+class AuthError(ValueError):
+    """A session frame failed authentication.
+
+    ``kind`` is one of ``"tampered"``, ``"replayed"``, ``"expired"``,
+    or ``"malformed"`` — matching the keys of
+    :attr:`SessionAuth.rejected`.
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(f"{kind}: {detail}")
+        self.kind = kind
+        self.detail = detail
+
+
+class SessionAuth:
+    """Seal and open session frames under a shared cell secret.
+
+    One instance per runtime endpoint: it keeps the outbound nonce
+    counter for each local sender and the highest nonce seen from each
+    remote sender.  ``clock`` is injectable for tests (defaults to
+    :func:`time.time`).
+    """
+
+    def __init__(
+        self,
+        secret: bytes,
+        lifetime: float = DEFAULT_LIFETIME,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not secret:
+            raise ValueError("session secret must be non-empty")
+        self._secret = bytes(secret)
+        self.lifetime = float(lifetime)
+        self._clock = clock
+        self._next_nonce: Dict[str, int] = {}
+        self._last_seen: Dict[str, int] = {}
+        #: Rejection counters by kind, exposed for tests and reports.
+        self.rejected: Dict[str, int] = {
+            "tampered": 0,
+            "replayed": 0,
+            "expired": 0,
+            "malformed": 0,
+        }
+
+    # -- sealing ----------------------------------------------------------
+    def seal(self, sender: str, recipient: str, payload: bytes) -> bytes:
+        """Wrap ``payload`` (UTF-8 codec bytes) in an authenticated envelope."""
+        nonce = self._next_nonce.get(sender, 0) + 1
+        self._next_nonce[sender] = nonce
+        envelope = json.dumps(
+            {
+                "d": recipient,
+                "n": nonce,
+                "p": payload.decode("utf-8"),
+                "s": sender,
+                "t": self._clock(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        mac = hmac.new(self._secret, envelope, hashlib.sha256).digest()
+        return mac + envelope
+
+    # -- opening ----------------------------------------------------------
+    def open(self, blob: bytes) -> Tuple[str, str, bytes]:
+        """Verify a sealed frame; return ``(sender, recipient, payload_bytes)``.
+
+        Raises :class:`AuthError` (and bumps the matching counter) on
+        any failure.  Nonce state only advances on *success*, so a
+        tampered frame cannot burn a legitimate sender's nonce.
+        """
+        if len(blob) < MAC_BYTES + 2:
+            raise self._reject("malformed", f"frame too short ({len(blob)} bytes)")
+        mac, envelope = blob[:MAC_BYTES], blob[MAC_BYTES:]
+        expected = hmac.new(self._secret, envelope, hashlib.sha256).digest()
+        if not hmac.compare_digest(mac, expected):
+            raise self._reject("tampered", "HMAC verification failed")
+        try:
+            fields = json.loads(envelope.decode("utf-8"))
+            sender = fields["s"]
+            recipient = fields["d"]
+            nonce = fields["n"]
+            issued_at = fields["t"]
+            payload = fields["p"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise self._reject("malformed", f"bad envelope: {exc}") from None
+        if not (
+            isinstance(sender, str)
+            and isinstance(recipient, str)
+            and isinstance(nonce, int)
+            and not isinstance(nonce, bool)
+            and isinstance(issued_at, (int, float))
+            and isinstance(payload, str)
+        ):
+            raise self._reject("malformed", "envelope field types")
+        if abs(self._clock() - issued_at) > self.lifetime:
+            raise self._reject("expired", f"issued_at {issued_at} outside lifetime window")
+        last = self._last_seen.get(sender, 0)
+        if nonce <= last:
+            raise self._reject("replayed", f"nonce {nonce} <= last seen {last} from {sender}")
+        self._last_seen[sender] = nonce
+        return sender, recipient, payload.encode("utf-8")
+
+    def _reject(self, kind: str, detail: str) -> AuthError:
+        self.rejected[kind] += 1
+        return AuthError(kind, detail)

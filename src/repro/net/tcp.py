@@ -1,0 +1,362 @@
+""":class:`SocketTransport` — the transport interface over asyncio TCP.
+
+Wire format per frame (see :mod:`repro.net.codec` and
+:mod:`repro.net.session`)::
+
+    4-byte BE length || HMAC-SHA256 mac || session envelope(JSON)
+
+Topology: every long-lived cell node runs a frame server; for each
+known peer a lazily-connected outbound link (an ``asyncio.Queue``
+drained by a writer task) carries this endpoint's frames.  Links are
+full-duplex — replies may come back on the same connection — and
+inbound connections from addresses *not* in the peer directory (e.g.
+transient ``repro load`` clients, which run no server) are remembered
+as *return routes* so responses to them travel back over the
+connection they arrived on.
+
+Failure semantics mirror the sim :class:`~repro.sim.network.Network`:
+``send`` is synchronous fire-and-forget; connection failures, unknown
+destinations, crashed endpoints, authentication failures, and scripted
+partitions all silently drop the frame (counted and traced, never
+raised into protocol code).  Reliability is the protocol's own
+retry/ack machinery, exactly as in the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..sim.trace import TraceKind
+from .codec import CodecError, FrameError, FrameReader, decode_message, encode_frame, encode_message
+from .session import DEFAULT_LIFETIME, AuthError, SessionAuth
+from .transport import Address, Transport
+
+__all__ = ["SocketTransport", "LiveConnectivity"]
+
+#: Bound on queued outbound frames per peer before new sends are dropped.
+_LINK_QUEUE_LIMIT = 4096
+
+
+class LiveConnectivity:
+    """Scripted partitions for a live cell (shared across its runtimes).
+
+    The live analogue of :class:`~repro.sim.partitions.ScriptedConnectivity`:
+    a mutable set of blocked (src, dst) directed pairs consulted at send
+    time.  All runtimes of an in-process cell share one instance, so a
+    test partitions the cell with plain method calls.
+    """
+
+    def __init__(self) -> None:
+        self._blocked: set[Tuple[Address, Address]] = set()
+
+    def allows(self, src: Address, dst: Address) -> bool:
+        return (src, dst) not in self._blocked
+
+    def set_down(self, a: Address, b: Address) -> None:
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def set_up(self, a: Address, b: Address) -> None:
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+
+    def isolate(self, address: Address, others: Iterable[Address]) -> None:
+        for other in others:
+            self.set_down(address, other)
+
+    def reconnect(self, address: Address, others: Iterable[Address]) -> None:
+        for other in others:
+            self.set_up(address, other)
+
+    def heal(self) -> None:
+        self._blocked.clear()
+
+
+class _PeerLink:
+    """Lazily-connected outbound connection to one peer."""
+
+    def __init__(self, transport: "SocketTransport", address: Address, host: str, port: int):
+        self._transport = transport
+        self.address = address
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=_LINK_QUEUE_LIMIT)
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"link:{address}"
+        )
+
+    def enqueue(self, frame: bytes) -> bool:
+        try:
+            self.queue.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+    async def _run(self) -> None:
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                frame = await self.queue.get()
+                if frame is None:
+                    break
+                if writer is None or writer.is_closing():
+                    writer = await self._connect()
+                    if writer is None:
+                        # Connection refused after retries: the frame is
+                        # lost, like a message into a dead partition.
+                        self._transport._count_drop(self.address, "connect failed")
+                        continue
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    self._transport._count_drop(self.address, "connection lost")
+                    writer = None
+        finally:
+            if writer is not None and not writer.is_closing():
+                writer.close()
+
+    async def _connect(self) -> Optional[asyncio.StreamWriter]:
+        backoff = self._transport.connect_backoff
+        for attempt in range(self._transport.connect_retries):
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                await asyncio.sleep(backoff * (attempt + 1))
+                continue
+            # Full duplex: replies may come back on this connection.
+            asyncio.get_running_loop().create_task(
+                self._transport._read_stream(reader, writer, close_on_exit=False),
+                name=f"link-read:{self.address}",
+            )
+            return writer
+        return None
+
+    async def close(self) -> None:
+        await self.queue.put(None)
+        await self.task
+
+
+class SocketTransport(Transport):
+    """The :class:`~repro.net.transport.Transport` over real TCP.
+
+    ``runtime`` is the owning :class:`~repro.net.runtime.LiveRuntime`;
+    it supplies the event environment, the tracer, the asyncio loop,
+    and asynchronous local delivery (``runtime.deliver``), which keeps
+    ``handle_message`` off the sender's stack exactly as in the sim.
+    """
+
+    def __init__(
+        self,
+        runtime: Any,
+        secret: bytes,
+        lifetime: float = DEFAULT_LIFETIME,
+        connectivity: Optional[LiveConnectivity] = None,
+        connect_retries: int = 5,
+        connect_backoff: float = 0.05,
+    ) -> None:
+        self._runtime = runtime
+        self.auth = SessionAuth(secret, lifetime=lifetime)
+        self.connectivity = connectivity
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.nodes: Dict[Address, Any] = {}
+        self.peers: Dict[Address, Tuple[str, int]] = {}
+        self._links: Dict[Address, _PeerLink] = {}
+        self._return_routes: Dict[Address, asyncio.StreamWriter] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._server_port: Optional[int] = None
+        # Counters (mirror the sim Network's) — part of the live report.
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.frames_rejected = 0
+
+    # -- properties delegated to the runtime --------------------------------
+    @property
+    def env(self) -> Any:
+        return self._runtime.env
+
+    @property
+    def tracer(self) -> Any:
+        return self._runtime.tracer
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound server port (None until the server is started)."""
+        return self._server_port
+
+    # -- membership ----------------------------------------------------------
+    def register(self, node: Any) -> Any:
+        if node.address in self.nodes:
+            raise ValueError(f"duplicate address {node.address!r}")
+        self.nodes[node.address] = node
+        node.attach(self)
+        return node
+
+    def set_peers(self, directory: Dict[Address, Tuple[str, int]]) -> None:
+        """Install/extend the address -> (host, port) peer directory."""
+        self.peers.update(directory)
+
+    # -- server ----------------------------------------------------------------
+    async def start_server(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind the frame server; returns the (possibly ephemeral) port."""
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        self._server_port = self._server.sockets[0].getsockname()[1]
+        return self._server_port
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._read_stream(reader, writer, close_on_exit=True)
+
+    async def _read_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        close_on_exit: bool,
+    ) -> None:
+        """Read frames off one connection until EOF or a framing error.
+
+        Authentication and codec failures drop the single frame (counted
+        and traced); framing errors poison the stream, so the connection
+        is closed.  Nothing propagates: one hostile client cannot take
+        down the server loop.
+        """
+        frames = FrameReader()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    bodies = frames.feed(chunk)
+                except FrameError as exc:
+                    self._reject("frame", str(exc))
+                    break
+                for body in bodies:
+                    self._on_frame(body, writer)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight readers; swallow so the
+            # stream protocol's done-callback doesn't log a spurious error.
+            pass
+        finally:
+            if close_on_exit and not writer.is_closing():
+                writer.close()
+
+    def _on_frame(self, body: bytes, writer: asyncio.StreamWriter) -> None:
+        try:
+            sender, recipient, payload = self.auth.open(body)
+        except AuthError as exc:
+            self._reject(exc.kind, exc.detail)
+            return
+        try:
+            message = decode_message(payload)
+        except CodecError as exc:
+            self._reject("codec", str(exc))
+            return
+        if sender not in self.peers and sender not in self.nodes:
+            # Transient client (no server of its own): remember the way back.
+            self._return_routes[sender] = writer
+        node = self.nodes.get(recipient)
+        if node is None:
+            self._count_drop(recipient, "unknown recipient")
+            return
+        self._runtime.deliver(sender, recipient, message)
+
+    # -- transmission -----------------------------------------------------------
+    def send(self, src: Address, dst: Address, message: Any) -> None:
+        src_node = self.nodes.get(src)
+        if src_node is not None and not src_node.up:
+            self._count_drop(dst, "sender down")
+            return
+        if self.connectivity is not None and not self.connectivity.allows(src, dst):
+            self._count_drop(dst, "partitioned")
+            return
+        self.messages_sent += 1
+        if self.tracer.wants(TraceKind.MSG_SENT):
+            self.tracer.publish(
+                TraceKind.MSG_SENT, src, dst=dst, message_kind=type(message).__name__
+            )
+        else:
+            self.tracer.bump(TraceKind.MSG_SENT)
+        if dst in self.nodes:
+            # Local loopback still goes through the codec so both halves
+            # of a conversation see identically-normalised messages.
+            try:
+                wire = decode_message(encode_message(message))
+            except CodecError as exc:
+                self._count_drop(dst, f"codec: {exc}")
+                return
+            self._runtime.deliver(src, dst, wire)
+            return
+        try:
+            frame = encode_frame(self.auth.seal(src, dst, encode_message(message)))
+        except (CodecError, FrameError) as exc:
+            self._count_drop(dst, f"encode: {exc}")
+            return
+        if dst in self.peers:
+            if dst not in self._links:
+                host, port = self.peers[dst]
+                self._links[dst] = _PeerLink(self, dst, host, port)
+            if not self._links[dst].enqueue(frame):
+                self._count_drop(dst, "link queue full")
+            return
+        route = self._return_routes.get(dst)
+        if route is not None and not route.is_closing():
+            try:
+                route.write(frame)
+            except (ConnectionError, OSError):
+                self._return_routes.pop(dst, None)
+                self._count_drop(dst, "return route lost")
+            return
+        self._count_drop(dst, "unknown destination")
+
+    def _deliver_now(self, src: Address, dst: Address, message: Any) -> None:
+        """Hand a queued inbound message to its node (driver task only)."""
+        node = self.nodes.get(dst)
+        if node is None or not node.up:
+            self._count_drop(dst, "recipient down")
+            return
+        self.messages_delivered += 1
+        if self.tracer.wants(TraceKind.MSG_DELIVERED):
+            self.tracer.publish(
+                TraceKind.MSG_DELIVERED, dst, src=src, message_kind=type(message).__name__
+            )
+        else:
+            self.tracer.bump(TraceKind.MSG_DELIVERED)
+        node.handle_message(src, message)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def _count_drop(self, dst: Address, reason: str) -> None:
+        self.messages_dropped += 1
+        if self.tracer.wants(TraceKind.MSG_DROPPED):
+            self.tracer.publish(TraceKind.MSG_DROPPED, "net", dst=dst, reason=reason)
+        else:
+            self.tracer.bump(TraceKind.MSG_DROPPED)
+
+    def _reject(self, kind: str, detail: str) -> None:
+        self.frames_rejected += 1
+        if self.tracer.wants(TraceKind.MSG_DROPPED):
+            self.tracer.publish(
+                TraceKind.MSG_DROPPED, "net", reason=f"rejected:{kind}", detail=detail
+            )
+        else:
+            self.tracer.bump(TraceKind.MSG_DROPPED)
+
+    # -- shutdown ----------------------------------------------------------------
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in list(self._links.values()):
+            await link.close()
+        self._links.clear()
+        for route in list(self._return_routes.values()):
+            if not route.is_closing():
+                route.close()
+        self._return_routes.clear()

@@ -43,6 +43,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..net.transport import Transport
 from .engine import Environment
 from .node import Address, Node
 from .partitions import ConnectivityModel, FullConnectivity
@@ -201,8 +202,9 @@ class _FanoutDelivery:
             deliver(src, dst, message)
 
 
-class Network:
-    """Connects nodes; applies latency, partitions, crashes, and loss.
+class Network(Transport):
+    """The in-simulation :class:`~repro.net.transport.Transport`:
+    connects nodes; applies latency, partitions, crashes, and loss.
 
     Parameters
     ----------

@@ -27,7 +27,11 @@ def connectivity() -> ScriptedConnectivity:
 
 @pytest.fixture
 def network(env, tracer, connectivity) -> Network:
-    """Deterministic network: scripted links, fixed 50 ms latency."""
+    """Deterministic network: scripted links, fixed 50 ms latency.
+
+    This is the sim implementation of :class:`repro.net.transport.
+    Transport`; the socket backend is covered in ``tests/test_net``.
+    """
     return Network(
         env,
         connectivity=connectivity,

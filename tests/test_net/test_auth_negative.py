@@ -1,0 +1,176 @@
+"""Negative-path session auth: every hostile frame is rejected, counted,
+traced — and the server loop keeps serving.
+
+Unit layer: :class:`~repro.net.session.SessionAuth` rejection kinds
+(tampered / replayed / expired / malformed) with injected clocks, and
+the no-burn rule — a tampered copy must not consume the legitimate
+frame's nonce.
+
+Live layer: a real asyncio server fed tampered, replayed, expired,
+truncated, and oversized frames over raw TCP connections, then a valid
+frame that must still be delivered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.core.messages import Ping
+from repro.net.codec import MAX_FRAME, encode_frame, encode_message
+from repro.net.runtime import LiveRuntime
+from repro.net.session import MAC_BYTES, AuthError, SessionAuth
+from repro.sim.node import Node
+from repro.sim.trace import TraceKind
+
+SECRET = b"negative-path-secret"
+
+
+class Recorder(Node):
+    def __init__(self, address):
+        super().__init__(address)
+        self.received = []
+
+    def handle_message(self, src, message):
+        self.received.append((src, message))
+
+
+def _expect(auth: SessionAuth, kind: str, blob: bytes) -> None:
+    before = auth.rejected[kind]
+    with pytest.raises(AuthError) as excinfo:
+        auth.open(blob)
+    assert excinfo.value.kind == kind
+    assert auth.rejected[kind] == before + 1
+
+
+class TestSessionAuthUnit:
+    def test_round_trip(self):
+        auth = SessionAuth(SECRET)
+        sender, recipient, payload = auth.open(auth.seal("a", "b", b"payload"))
+        assert (sender, recipient, payload) == ("a", "b", b"payload")
+
+    def test_tampered_mac_rejected_and_nonce_not_burned(self):
+        auth = SessionAuth(SECRET)
+        blob = auth.seal("a", "b", b"payload")
+        tampered = bytes([blob[0] ^ 0xFF]) + blob[1:]
+        _expect(auth, "tampered", tampered)
+        # The untouched original still opens: rejection must not have
+        # advanced the replay window.
+        assert auth.open(blob)[2] == b"payload"
+
+    def test_tampered_envelope_rejected(self):
+        auth = SessionAuth(SECRET)
+        blob = bytearray(auth.seal("a", "b", b"payload"))
+        blob[MAC_BYTES + 4] ^= 0x01
+        _expect(auth, "tampered", bytes(blob))
+
+    def test_replayed_frame_rejected(self):
+        auth = SessionAuth(SECRET)
+        blob = auth.seal("a", "b", b"payload")
+        auth.open(blob)
+        _expect(auth, "replayed", blob)
+
+    def test_stale_nonce_rejected(self):
+        auth = SessionAuth(SECRET)
+        first = auth.seal("a", "b", b"one")
+        second = auth.seal("a", "b", b"two")
+        auth.open(second)
+        _expect(auth, "replayed", first)
+
+    def test_expired_frame_rejected_both_directions(self):
+        past = SessionAuth(SECRET, clock=lambda: 0.0)
+        future = SessionAuth(SECRET, clock=lambda: 10_000.0)
+        receiver = SessionAuth(SECRET, lifetime=30.0, clock=lambda: 5_000.0)
+        _expect(receiver, "expired", past.seal("a", "b", b"stale"))
+        _expect(receiver, "expired", future.seal("a", "b", b"predated"))
+
+    def test_malformed_frames_rejected(self):
+        auth = SessionAuth(SECRET)
+        _expect(auth, "malformed", b"short")
+        # A correctly MACed envelope that is not JSON.
+        import hashlib
+        import hmac as hmac_mod
+
+        body = b"not json at all"
+        mac = hmac_mod.new(SECRET, body, hashlib.sha256).digest()
+        _expect(auth, "malformed", mac + body)
+        # A correctly MACed envelope with a boolean nonce.
+        envelope = (
+            b'{"d":"b","n":true,"p":"x","s":"a","t":0}'
+        )
+        mac = hmac_mod.new(SECRET, envelope, hashlib.sha256).digest()
+        _expect(auth, "malformed", mac + envelope)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SessionAuth(b"")
+
+
+class TestLiveServerSurvival:
+    def test_hostile_frames_dropped_without_killing_the_loop(self):
+        async def scenario():
+            runtime = LiveRuntime(SECRET, time_scale=10.0, keep_log=True)
+            node = Recorder("alpha")
+            runtime.register(node)
+            port = await runtime.start()
+            transport = runtime.transport
+
+            async def fire(*frames: bytes) -> None:
+                """One connection per call: framing errors poison a stream."""
+                _, writer = await asyncio.open_connection("127.0.0.1", port)
+                for frame in frames:
+                    writer.write(frame)
+                await writer.drain()
+                await asyncio.sleep(0.05)
+                writer.close()
+
+            try:
+                client = SessionAuth(SECRET)
+                ping = encode_message(Ping(nonce=1, sender="probe"))
+
+                # Tampered: flip one mac byte of an otherwise valid frame.
+                blob = client.seal("probe", "alpha", ping)
+                await fire(encode_frame(bytes([blob[0] ^ 0xFF]) + blob[1:]))
+
+                # Replayed: the same sealed frame twice (first is valid).
+                blob = client.seal("probe", "alpha", ping)
+                await fire(encode_frame(blob), encode_frame(blob))
+
+                # Expired: sealed by a clock a week in the past.
+                stale = SessionAuth(SECRET, clock=lambda: 0.0)
+                await fire(encode_frame(stale.seal("late", "alpha", ping)))
+
+                # Truncated: a zero-length frame declaration.
+                await fire(struct.pack(">I", 0) + b"junk")
+
+                # Oversized: a length prefix beyond MAX_FRAME.
+                await fire(struct.pack(">I", MAX_FRAME + 1))
+
+                # The loop must still be serving: a fresh valid frame lands.
+                final = client.seal("probe", "alpha", ping)
+                await fire(encode_frame(final))
+                for _ in range(300):
+                    if len(node.received) >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+
+                return (
+                    list(node.received),
+                    dict(transport.auth.rejected),
+                    transport.frames_rejected,
+                    runtime.tracer.count(TraceKind.MSG_DROPPED),
+                )
+            finally:
+                await runtime.stop()
+
+        received, rejected, frames_rejected, dropped = asyncio.run(scenario())
+        # The replay's first copy and the final frame both arrived.
+        assert received == [("probe", Ping(nonce=1, sender="probe"))] * 2
+        assert rejected["tampered"] >= 1
+        assert rejected["replayed"] >= 1
+        assert rejected["expired"] >= 1
+        # Auth rejections plus the two framing errors, all counted and traced.
+        assert frames_rejected >= 5
+        assert dropped >= 5

@@ -1,0 +1,80 @@
+"""The sim<->socket differential suite.
+
+Every scenario is derived deterministically from a fuzz
+:class:`~repro.verify.schedules.Schedule` and executed twice: once on
+the in-process simulator, once over real localhost TCP (accelerated
+wall clock).  The two backends must agree *decision-exactly* — the same
+access decisions with the same reasons, and ACLs that converge to the
+same (granted, version-rank, origin) state on every manager — while
+being free to disagree on timing (HLC counters embed physical
+milliseconds, hence the rank canonicalisation in ScenarioOutcome).
+
+Tier-1 runs the two golden-trace schedules (one quorum cell, one
+freeze cell) plus a scheduler-invariance check; the wider ten-cell
+fuzz sample is ``slow`` and runs in the net-smoke CI job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.net.scenario import derive_scenario, run_scenario_live, run_scenario_sim
+from repro.verify.schedules import Schedule, generate_schedule
+
+FIXTURES = Path(__file__).parent.parent / "test_verify" / "fixtures"
+GOLDEN = sorted(FIXTURES.glob("golden_trace_*.json"))
+
+#: Sim-seconds per wall-second for the live leg.  Scenarios span ~60
+#: sim-seconds, so a run costs ~1.2 wall-seconds plus socket overhead.
+TIME_SCALE = 50.0
+
+
+def _golden_schedule(path: Path) -> Schedule:
+    with path.open(encoding="utf-8") as handle:
+        return Schedule.from_dict(json.load(handle)["schedule"])
+
+
+def _differential(schedule: Schedule, name: str) -> None:
+    scenario = derive_scenario(schedule, name=name)
+    sim = run_scenario_sim(scenario)
+    live = asyncio.run(run_scenario_live(scenario, time_scale=TIME_SCALE))
+    assert sim.decisions == live.decisions, (
+        f"{name}: decision streams diverge\n sim: {sim.decisions}\nlive: {live.decisions}"
+    )
+    assert sim.canonical() == live.canonical(), (
+        f"{name}: converged ACL state diverges"
+    )
+
+
+@pytest.mark.parametrize("path", GOLDEN, ids=lambda p: p.stem)
+def test_golden_trace_scenarios_match_on_both_backends(path):
+    _differential(_golden_schedule(path), path.stem)
+
+
+def test_golden_fixtures_cover_both_protocol_variants():
+    # The differential above is only meaningful if the fixture pool
+    # exercises quorum AND freeze dissemination.
+    schedules = [_golden_schedule(path) for path in GOLDEN]
+    assert any(s.policy.get("use_freeze") for s in schedules)
+    assert any(not s.policy.get("use_freeze") for s in schedules)
+
+
+def test_sim_leg_is_scheduler_invariant():
+    # The differential baseline itself must not depend on which event
+    # queue the sim uses.
+    schedule = _golden_schedule(GOLDEN[0])
+    scenario = derive_scenario(schedule, name="scheduler-invariance")
+    heap = run_scenario_sim(scenario, scheduler="heap")
+    calendar = run_scenario_sim(scenario, scheduler="calendar")
+    assert heap.decisions == calendar.decisions
+    assert heap.canonical() == calendar.canonical()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cell", range(10))
+def test_fuzz_schedule_sample_matches_on_both_backends(cell):
+    _differential(generate_schedule(7, cell), f"fuzz-cell{cell}")

@@ -1,0 +1,165 @@
+"""The Transport abstraction: one interface, two backends.
+
+Pins the contract the differential suite relies on: the sim Network IS
+a Transport, the messaging substrate is importable from the transport
+layer (the canonical backend-agnostic entry point), and the socket
+backend moves real protocol messages between runtimes over TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import Ping, Pong
+from repro.net.transport import Address, ReplyTable, Transport, request, retry_until_acked
+from repro.net.runtime import LiveRuntime
+from repro.sim.engine import Environment
+from repro.sim.network import FixedLatency, Network
+from repro.sim.node import Node
+from repro.sim.trace import Tracer
+
+
+class Recorder(Node):
+    def __init__(self, address: Address):
+        super().__init__(address)
+        self.received = []
+
+    def handle_message(self, src, message):
+        self.received.append((src, message))
+
+
+class Responder(Node):
+    def handle_message(self, src, message):
+        if isinstance(message, Ping):
+            self.send(src, Pong(nonce=message.nonce, sender=self.address))
+
+
+class TestInterface:
+    def test_sim_network_is_a_transport(self):
+        env = Environment()
+        network = Network(env, tracer=Tracer(env), latency=FixedLatency(0.01))
+        assert isinstance(network, Transport)
+
+    def test_messaging_substrate_reexported(self):
+        # The transport module is the canonical import point; it must be
+        # the same objects protocol code binds, not copies.
+        from repro.protocols import messaging
+
+        assert ReplyTable is messaging.ReplyTable
+        assert request is messaging.request
+        assert retry_until_acked is messaging.retry_until_acked
+
+    def test_default_multicast_and_send_many_delegate_to_send(self):
+        sent = []
+
+        class Fake(Transport):
+            def send(self, src, dst, message):
+                sent.append((src, dst, message))
+
+        fake = Fake()
+        fake.multicast("a", ["b", "c"], "msg")
+        observed = []
+        fake.send_many("a", [("d", "m1"), ("e", "m2")], on_sent=lambda d, m: observed.append(d))
+        assert sent == [("a", "b", "msg"), ("a", "c", "msg"), ("a", "d", "m1"), ("a", "e", "m2")]
+        assert observed == ["d", "e"]
+
+    def test_base_send_and_register_are_abstract(self):
+        transport = Transport()
+        with pytest.raises(NotImplementedError):
+            transport.send("a", "b", "msg")
+        with pytest.raises(NotImplementedError):
+            transport.register(object())
+
+
+class TestSocketBackend:
+    def test_ping_pong_between_two_runtimes(self):
+        async def scenario():
+            left = LiveRuntime(b"secret", time_scale=10.0)
+            right = LiveRuntime(b"secret", time_scale=10.0)
+            pinger = Recorder("alpha")
+            ponger = Responder("beta")
+            left.register(pinger)
+            right.register(ponger)
+            left_port = await left.start()
+            right_port = await right.start()
+            directory = {
+                "alpha": ("127.0.0.1", left_port),
+                "beta": ("127.0.0.1", right_port),
+            }
+            left.set_peers(directory)
+            right.set_peers(directory)
+            left.call_soon(lambda: pinger.send("beta", Ping(nonce=7, sender="alpha")))
+            try:
+                for _ in range(500):
+                    if pinger.received:
+                        break
+                    await asyncio.sleep(0.01)
+                return list(pinger.received)
+            finally:
+                await left.stop()
+                await right.stop()
+
+        received = asyncio.run(scenario())
+        assert received == [("beta", Pong(nonce=7, sender="beta"))]
+
+    def test_crashed_node_neither_sends_nor_receives(self):
+        async def scenario():
+            left = LiveRuntime(b"secret", time_scale=10.0)
+            right = LiveRuntime(b"secret", time_scale=10.0)
+            sender = Recorder("alpha")
+            receiver = Recorder("beta")
+            left.register(sender)
+            right.register(receiver)
+            directory = {
+                "alpha": ("127.0.0.1", await left.start()),
+                "beta": ("127.0.0.1", await right.start()),
+            }
+            left.set_peers(directory)
+            right.set_peers(directory)
+            try:
+                # Crashed sender: dropped at the source.
+                sender.up = False
+                left.call_soon(lambda: sender.send("beta", Ping(nonce=1, sender="alpha")))
+                await asyncio.sleep(0.2)
+                down_sender = list(receiver.received)
+                # Crashed receiver: dropped at the destination.
+                sender.up = True
+                receiver.up = False
+                left.call_soon(lambda: sender.send("beta", Ping(nonce=2, sender="alpha")))
+                await asyncio.sleep(0.2)
+                down_receiver = list(receiver.received)
+                # Both up again: delivery resumes.
+                receiver.up = True
+                left.call_soon(lambda: sender.send("beta", Ping(nonce=3, sender="alpha")))
+                for _ in range(300):
+                    if receiver.received:
+                        break
+                    await asyncio.sleep(0.01)
+                return down_sender, down_receiver, list(receiver.received)
+            finally:
+                await left.stop()
+                await right.stop()
+
+        down_sender, down_receiver, final = asyncio.run(scenario())
+        assert down_sender == []
+        assert down_receiver == []
+        assert final == [("alpha", Ping(nonce=3, sender="alpha"))]
+
+    def test_unknown_destination_drops_and_counts(self):
+        async def scenario():
+            runtime = LiveRuntime(b"secret", time_scale=10.0)
+            node = Recorder("alpha")
+            runtime.register(node)
+            await runtime.start()
+            try:
+                before = runtime.transport.messages_dropped
+                runtime.call_soon(lambda: node.send("ghost", Ping(nonce=1, sender="alpha")))
+                await asyncio.sleep(0.1)
+                return before, runtime.transport.messages_dropped
+            finally:
+                await runtime.stop()
+
+        before, after = asyncio.run(scenario())
+        assert after == before + 1

@@ -1,8 +1,13 @@
-"""Tests for the shared request/reply and retry messaging substrate."""
+"""Tests for the shared request/reply and retry messaging substrate.
+
+Imported through :mod:`repro.net.transport` — the backend-agnostic
+entry point — so these contracts are pinned where both the sim and the
+socket transports see them.
+"""
 
 from __future__ import annotations
 
-from repro.protocols.messaging import ReplyTable, request, retry_until_acked
+from repro.net.transport import ReplyTable, request, retry_until_acked
 from repro.sim.engine import Environment
 from repro.sim.network import FixedLatency, Network
 from repro.sim.node import Node
