@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare net-smoke profile experiments examples all clean
+.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare net-smoke population-smoke mega profile experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -51,6 +51,18 @@ net-smoke:
 		--secret smoke --clients 4 --duration 5; status=$$?; \
 	kill $$pid 2>/dev/null; rm -f /tmp/repro-cell.json; exit $$status
 	PYTHONPATH=src python -m pytest -q tests/test_net -m ""
+
+# The CI population gate at local speed: 10^5 principals, K=4 shards,
+# invariants on, wall-clock budgeted.
+population-smoke:
+	PYTHONPATH=src python -m repro.experiments.cli mega --principals 100000 \
+		--duration 120 --check-invariants --budget 240
+
+# The full mega soak: 10^6 principals (minutes of wall-clock; run on a
+# quiet machine and watch peak RSS stay O(population)).
+mega:
+	PYTHONPATH=src python -m repro.experiments.cli mega --principals 1000000 \
+		--duration 120 --check-invariants
 
 # cProfile the message-heaviest bench cell; stats land in
 # benchmarks/repro-bench.prof (readable with `python -m pstats`).

@@ -10,53 +10,112 @@ versioned last-writer-wins map from ``(user, right)`` to
 tombstones so that merges between managers converge regardless of
 message ordering (the merge is commutative, associative, and
 idempotent).
+
+Storage is columnar: entries live in parallel flat arrays (granted
+flags, version counters, origin ids) indexed by a dict-of-int slot map
+keyed on packed ``uid*2 + right`` ints.  User and origin names are
+interned (:mod:`repro.core.ids`), so the per-entry cost is a few
+machine words instead of an ``AclEntry`` object — what makes
+million-principal ACLs fit in memory.  ``AclEntry`` objects are
+materialised only at the API boundary (``entry``/``snapshot``).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .ids import RIGHT_INDEX, RIGHTS, Interner, pack_key
 from .rights import AclEntry, Right, Version, ZERO_VERSION
 
 __all__ = ["AccessControlList"]
 
 
 class AccessControlList:
-    """Versioned ACL for a single application."""
+    """Versioned ACL for a single application, columnar-backed.
 
-    def __init__(self, application: str):
+    ``interner`` (user names) and ``origins`` (version origins) may be
+    shared across ACLs/nodes — e.g. one system-wide interner for a mega
+    population; by default each ACL owns private ones.
+    """
+
+    def __init__(
+        self,
+        application: str,
+        interner: Optional[Interner] = None,
+        origins: Optional[Interner] = None,
+    ):
         self.application = application
-        self._entries: Dict[Tuple[str, Right], AclEntry] = {}
+        self._ids = interner if interner is not None else Interner()
+        self._origins = origins if origins is not None else Interner()
+        # packed (uid, right) key -> slot index into the columns below.
+        self._slot: Dict[int, int] = {}
+        self._keys = array("q")  # packed key per slot (insertion order)
+        self._granted = bytearray()  # 0/1 per slot
+        self._counter = array("q")  # version counter per slot
+        self._origin = array("q")  # interned version origin per slot
+
+    # -- key helpers ---------------------------------------------------------
+    def _probe_key(self, user: str, right: Right) -> Optional[int]:
+        """Packed key if ``user`` is known; None never grows the interner."""
+        uid = self._ids.get(user)
+        if uid is None:
+            return None
+        return pack_key(uid, RIGHT_INDEX[right])
+
+    def _slot_entry(self, slot: int) -> AclEntry:
+        """Materialise the AclEntry stored at ``slot`` (API boundary)."""
+        key = self._keys[slot]
+        return AclEntry(
+            user=self._ids.name_of(key // 2),
+            right=RIGHTS[key & 1],
+            granted=bool(self._granted[slot]),
+            version=Version(
+                self._counter[slot], self._origins.name_of(self._origin[slot])
+            ),
+        )
 
     # -- queries ---------------------------------------------------------------
     def check(self, user: str, right: Right) -> bool:
         """Does ``user`` currently hold ``right``?"""
-        entry = self._entries.get((user, right))
-        return entry is not None and entry.granted
+        key = self._probe_key(user, right)
+        if key is None:
+            return False
+        slot = self._slot.get(key)
+        return slot is not None and bool(self._granted[slot])
 
     def entry(self, user: str, right: Right) -> Optional[AclEntry]:
         """The stored entry (grant or tombstone), or None if never set."""
-        return self._entries.get((user, right))
+        key = self._probe_key(user, right)
+        slot = self._slot.get(key) if key is not None else None
+        return self._slot_entry(slot) if slot is not None else None
 
     def version_of(self, user: str, right: Right) -> Version:
         """Version of the stored entry; ZERO_VERSION if never set."""
-        entry = self._entries.get((user, right))
-        return entry.version if entry is not None else ZERO_VERSION
+        key = self._probe_key(user, right)
+        slot = self._slot.get(key) if key is not None else None
+        if slot is None:
+            return ZERO_VERSION
+        return Version(
+            self._counter[slot], self._origins.name_of(self._origin[slot])
+        )
 
     def users_with(self, right: Right) -> List[str]:
         """All users currently holding ``right`` (sorted for determinism)."""
+        index = RIGHT_INDEX[right]
         return sorted(
-            user
-            for (user, r), entry in self._entries.items()
-            if r == right and entry.granted
+            self._ids.name_of(key // 2)
+            for slot, key in enumerate(self._keys)
+            if (key & 1) == index and self._granted[slot]
         )
 
     def __len__(self) -> int:
         """Number of stored entries, tombstones included."""
-        return len(self._entries)
+        return len(self._slot)
 
     def __contains__(self, key: Tuple[str, Right]) -> bool:
-        return key in self._entries
+        packed = self._probe_key(key[0], key[1])
+        return packed is not None and packed in self._slot
 
     # -- mutation ---------------------------------------------------------------
     def apply(self, entry: AclEntry) -> bool:
@@ -64,12 +123,28 @@ class AccessControlList:
 
         Equal versions are idempotent re-deliveries and are ignored.
         """
-        key = (entry.user, entry.right)
-        current = self._entries.get(key)
-        if current is None or entry.version > current.version:
-            self._entries[key] = entry
+        key = pack_key(self._ids.intern(entry.user), RIGHT_INDEX[entry.right])
+        version = entry.version
+        slot = self._slot.get(key)
+        if slot is None:
+            self._slot[key] = len(self._keys)
+            self._keys.append(key)
+            self._granted.append(1 if entry.granted else 0)
+            self._counter.append(version.counter)
+            self._origin.append(self._origins.intern(version.origin))
             return True
-        return False
+        current = self._counter[slot]
+        if version.counter < current:
+            return False
+        if version.counter == current:
+            # Counter tie: the paper's total order falls back to the
+            # origin *name* (lexicographic), not the interned id.
+            if version.origin <= self._origins.name_of(self._origin[slot]):
+                return False
+        self._granted[slot] = 1 if entry.granted else 0
+        self._counter[slot] = version.counter
+        self._origin[slot] = self._origins.intern(version.origin)
+        return True
 
     def merge(self, entries: Iterable[AclEntry]) -> int:
         """Merge many entries; returns how many were newly stored."""
@@ -77,18 +152,38 @@ class AccessControlList:
 
     # -- synchronisation -----------------------------------------------------------
     def snapshot(self) -> List[AclEntry]:
-        """All entries (tombstones included), for recovery resync."""
-        return list(self._entries.values())
+        """All entries (tombstones included), for recovery resync.
+
+        First-apply insertion order, matching the historical dict-backed
+        behaviour (golden traces depend on resync message contents).
+        """
+        return [self._slot_entry(slot) for slot in range(len(self._keys))]
 
     def highest_version(self) -> Version:
         """The largest version present (ZERO_VERSION when empty)."""
-        if not self._entries:
-            return ZERO_VERSION
-        return max(entry.version for entry in self._entries.values())
+        best_counter, best_origin = ZERO_VERSION.counter, ZERO_VERSION.origin
+        for slot in range(len(self._keys)):
+            counter = self._counter[slot]
+            if counter < best_counter:
+                continue
+            origin = self._origins.name_of(self._origin[slot])
+            if counter > best_counter or origin > best_origin:
+                best_counter, best_origin = counter, origin
+        return Version(best_counter, best_origin)
+
+    def nbytes(self) -> int:
+        """Approximate bytes held by the columnar storage (diagnostics)."""
+        return (
+            len(self._keys) * self._keys.itemsize
+            + len(self._granted)
+            + len(self._counter) * self._counter.itemsize
+            + len(self._origin) * self._origin.itemsize
+            + len(self._slot) * 16  # rough dict-of-int footprint
+        )
 
     def __repr__(self) -> str:
-        grants = sum(1 for e in self._entries.values() if e.granted)
+        grants = sum(self._granted)
         return (
             f"<ACL {self.application!r} grants={grants} "
-            f"tombstones={len(self._entries) - grants}>"
+            f"tombstones={len(self._slot) - grants}>"
         )

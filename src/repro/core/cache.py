@@ -16,6 +16,13 @@ until it was flushed).
 Timestamps in this module are local-clock values; the cache never sees
 real simulation time.  That is exactly the paper's point: expiry must
 work from a drifting local clock alone.
+
+Internally the cache is keyed by packed ``uid*2 + right`` ints from an
+:class:`~repro.core.ids.Interner` (shareable across the caches of one
+host, or system-wide for mega populations), so the hot lookup path is
+one int-dict probe instead of a (str, enum)-tuple hash.  ``probe`` is
+the allocation-free fast path used by the verification pipeline;
+``lookup`` wraps it in the classic :class:`CacheLookup` result.
 """
 
 from __future__ import annotations
@@ -23,8 +30,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
+from .ids import RIGHT_INDEX, Interner, pack_key
 from .rights import Right, Version
 
 __all__ = ["CacheEntry", "ACLCache", "CacheLookup"]
@@ -55,25 +63,60 @@ class CacheLookup:
 class ACLCache:
     """Per-application cache of granted rights with local-clock expiry."""
 
-    def __init__(self, application: str):
+    def __init__(self, application: str, interner: Optional[Interner] = None):
         self.application = application
-        self._entries: Dict[Tuple[str, Right], CacheEntry] = {}
-        self._last_access: Dict[Tuple[str, Right], float] = {}
+        self._ids = interner if interner is not None else Interner()
+        self._entries: Dict[int, CacheEntry] = {}
+        self._last_access: Dict[int, float] = {}
         # Min-heap of (limit, seq, key) so ``purge_expired`` pops only
         # the entries actually past their limit instead of scanning the
         # whole cache per sweep.  Records are never removed eagerly on
         # flush/refresh; a popped record is validated against the live
         # entry and discarded if stale (lazy deletion).
-        self._expiry_heap: List[Tuple[float, int, Tuple[str, Right]]] = []
+        self._expiry_heap: List["tuple[float, int, int]"] = []
         self._heap_seq = itertools.count()
         self.hits = 0
         self.misses = 0
         self.expirations = 0
         self.flushes = 0
         self.idle_evictions = 0
+        #: Set by ``probe``: the last miss was an expiry, not a cold miss.
+        self.last_probe_expired = False
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _probe_key(self, user: str, right: Right) -> Optional[int]:
+        """Packed key if ``user`` is known; unknown users never intern."""
+        uid = self._ids.get(user)
+        if uid is None:
+            return None
+        return pack_key(uid, RIGHT_INDEX[right])
+
+    def probe(
+        self, user: str, right: Right, now_local: float
+    ) -> Optional[CacheEntry]:
+        """Allocation-free ``lookup``: the live entry or None.
+
+        On None, ``last_probe_expired`` tells an expiry apart from a
+        cold miss.  Counters update exactly as in ``lookup``.
+        """
+        key = self._probe_key(user, right)
+        entry = self._entries.get(key) if key is not None else None
+        if entry is None:
+            self.misses += 1
+            self.last_probe_expired = False
+            return None
+        if now_local < entry.limit:
+            self.hits += 1
+            self._last_access[key] = now_local  # type: ignore[index]
+            self.last_probe_expired = False
+            return entry
+        del self._entries[key]  # type: ignore[arg-type]
+        self._last_access.pop(key, None)  # type: ignore[arg-type]
+        self.expirations += 1
+        self.last_probe_expired = True
+        return None
 
     def lookup(self, user: str, right: Right, now_local: float) -> CacheLookup:
         """Figure 3's ``lookup``: return the live entry or classify the miss.
@@ -81,19 +124,10 @@ class ACLCache:
         An expired entry is removed as a side effect ("the access
         control tuple is removed and the access is rechecked").
         """
-        key = (user, right)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return CacheLookup(entry=None, expired=False)
-        if now_local < entry.limit:
-            self.hits += 1
-            self._last_access[key] = now_local
+        entry = self.probe(user, right, now_local)
+        if entry is not None:
             return CacheLookup(entry=entry, expired=False)
-        del self._entries[key]
-        self._last_access.pop(key, None)
-        self.expirations += 1
-        return CacheLookup(entry=None, expired=True)
+        return CacheLookup(entry=None, expired=self.last_probe_expired)
 
     def store(self, entry: CacheEntry, now_local: Optional[float] = None) -> None:
         """Insert or refresh a cached grant (``ACL_cache(A) += (U, ...)``).
@@ -103,7 +137,7 @@ class ACLCache:
         user's behalf); background refreshes pass ``None`` to leave the
         last-access time untouched.
         """
-        key = (entry.user, entry.right)
+        key = pack_key(self._ids.intern(entry.user), RIGHT_INDEX[entry.right])
         self._entries[key] = entry
         heapq.heappush(self._expiry_heap, (entry.limit, next(self._heap_seq), key))
         if len(self._expiry_heap) > 64 and len(self._expiry_heap) > 4 * len(
@@ -121,15 +155,19 @@ class ACLCache:
         Removing a non-existent entry is a no-op, as the paper notes.
         Returns the number of entries removed.
         """
+        uid = self._ids.get(user)
+        if uid is None:
+            return 0
         if right is not None:
-            removed = 1 if self._entries.pop((user, right), None) is not None else 0
-            self._last_access.pop((user, right), None)
+            rights = (RIGHT_INDEX[right],)
         else:
-            keys = [key for key in self._entries if key[0] == user]
-            for key in keys:
-                del self._entries[key]
-                self._last_access.pop(key, None)
-            removed = len(keys)
+            rights = (0, 1)
+        removed = 0
+        for index in rights:
+            key = pack_key(uid, index)
+            if self._entries.pop(key, None) is not None:
+                removed += 1
+            self._last_access.pop(key, None)
         self.flushes += removed
         return removed
 
@@ -192,7 +230,8 @@ class ACLCache:
 
     def last_access(self, user: str, right: Right) -> Optional[float]:
         """Local-clock time of the entry's last use (None if untracked)."""
-        value = self._last_access.get((user, right))
+        key = self._probe_key(user, right)
+        value = self._last_access.get(key) if key is not None else None
         return None if value in (None, float("-inf")) else value
 
     def entries(self) -> List[CacheEntry]:

@@ -40,6 +40,7 @@ from ..sim.clock import LocalClock
 from ..sim.node import Address, Node
 from ..sim.trace import TraceKind
 from .cache import ACLCache
+from .ids import RIGHT_INDEX, Interner, pack_key
 from .messages import NameResult, QueryResponse, RevokeNotify, RevokeNotifyAck
 from .policy import AccessPolicy
 from .rights import Right
@@ -102,6 +103,16 @@ class AccessControlHost(Node):
         When set, manager responses must arrive as
         :class:`~repro.auth.SignedMessage` signed by the responding
         manager; unsigned or forged responses are discarded.
+    interner:
+        Shared user-name interner backing this host's caches and deny
+        table; a private one is created when omitted.  Mega-population
+        systems pass one system-wide interner so principal names are
+        never duplicated per node.
+    shard_router:
+        Optional :class:`~repro.protocols.sharding.ShardRouter`; when
+        set, applications not statically configured resolve to their
+        owning manager group through the ring instead of the name
+        service.
     """
 
     def __init__(
@@ -112,6 +123,8 @@ class AccessControlHost(Node):
         name_service: Optional[Address] = None,
         clock: Optional[LocalClock] = None,
         manager_authenticator: Optional[Authenticator] = None,
+        interner: Optional[Interner] = None,
+        shard_router=None,
     ):
         super().__init__(address)
         self.default_policy = policy
@@ -122,9 +135,11 @@ class AccessControlHost(Node):
         self.name_service = name_service
         self.clock = clock
         self.manager_authenticator = manager_authenticator
+        self._ids = interner if interner is not None else Interner()
+        self.shard_router = shard_router
         self.caches: Dict[str, ACLCache] = {}
-        # Negative cache: (app, user, right) -> local-clock expiry.
-        self._deny_cache: Dict[Tuple[str, str, Right], float] = {}
+        # Negative cache: (app, packed (uid, right) key) -> local expiry.
+        self._deny_cache: Dict[Tuple[str, int], float] = {}
         self._pending_queries = ReplyTable()
         self._pending_lookups = ReplyTable()
         self._ns_cache: Dict[str, Tuple[Tuple[Address, ...], float]] = {}
@@ -160,9 +175,25 @@ class AccessControlHost(Node):
         """This host's ``ACL_cache(A)`` (created on first use)."""
         cache = self.caches.get(application)
         if cache is None:
-            cache = ACLCache(application)
+            cache = ACLCache(application, self._ids)
             self.caches[application] = cache
         return cache
+
+    # -- deny-cache keys --------------------------------------------------------
+    def _deny_key(self, application: str, user: str, right: Right) -> Tuple[str, int]:
+        """Deny-cache key for a write path (interns the user)."""
+        return (application, pack_key(self._ids.intern(user), RIGHT_INDEX[right]))
+
+    def _deny_probe(
+        self, application: str, user: str, right: Right
+    ) -> Optional[Tuple[str, int]]:
+        """Deny-cache key for a read path; None if the user is unknown
+        (an unknown user cannot have a cached denial, and read probes
+        must not grow the interner)."""
+        uid = self._ids.get(user)
+        if uid is None:
+            return None
+        return (application, pack_key(uid, RIGHT_INDEX[right]))
 
     # -- wiring ---------------------------------------------------------------------
     def attach(self, network) -> None:

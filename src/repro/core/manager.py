@@ -33,6 +33,7 @@ from ..sim.engine import Event
 from ..sim.node import Address, Node
 from ..sim.storage import StableStore
 from .acl import AccessControlList
+from .ids import Interner
 from .messages import (
     AclUpdate,
     AdminRequest,
@@ -71,8 +72,12 @@ class AccessControlManager(Node):
     def __init__(self, address: Address, policy: AccessPolicy,
                  principal: Principal = None,
                  store: StableStore = None,
-                 admin_authenticator: Authenticator = None):
+                 admin_authenticator: Authenticator = None,
+                 interner: Interner = None):
         super().__init__(address)
+        #: Shared user-name interner backing this manager's ACL columns
+        #: (private when omitted; system-wide for mega populations).
+        self._ids = interner if interner is not None else Interner()
         self.default_policy = policy
         #: When set, query responses are signed with this identity so
         #: hosts in Byzantine mode can authenticate them (footnote 2).
@@ -123,7 +128,9 @@ class AccessControlManager(Node):
         self._peers[application] = tuple(
             m for m in manager_set if m != self.address
         )
-        self.acls.setdefault(application, AccessControlList(application))
+        self.acls.setdefault(
+            application, AccessControlList(application, self._ids)
+        )
         self._grant_table.setdefault(application, {})
 
     def policy_for(self, application: str) -> AccessPolicy:
@@ -277,7 +284,9 @@ class AccessControlManager(Node):
         self._pending_notifies.clear()
         if self.store is not None:
             for application in list(self.acls):
-                self.acls[application] = AccessControlList(application)
+                self.acls[application] = AccessControlList(
+                    application, self._ids
+                )
 
     def on_recover(self) -> None:
         """Reload from stable storage, then resync from peers before

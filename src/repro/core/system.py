@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..protocols.sharding import ShardRouter
 from ..sim.clock import ClockFactory
 from ..sim.engine import Environment
 from ..sim.failures import CrashRecoveryInjector
@@ -30,6 +31,7 @@ from ..sim.network import LatencyModel, Network, ShiftedExponentialLatency
 from ..sim.partitions import ConnectivityModel, FullConnectivity
 from ..sim.rng import RngStreams
 from ..sim.trace import TraceKind, Tracer
+from .ids import Interner
 from .manager import AccessControlManager
 from .name_service import TrustedNameService
 from .policy import AccessPolicy
@@ -88,6 +90,22 @@ class AccessControlSystem:
         (``"heap"``/``"calendar"``), a
         :class:`~repro.sim.scheduler.Scheduler` instance, or ``None``
         to defer to ``REPRO_SCHEDULER`` and the default.
+    shards:
+        ``K`` — number of independent manager *groups*.  With the
+        default ``K=1`` the system is the classic flat deployment
+        (manager addresses ``m0..m{M-1}``), byte-identical to every
+        historical trace.  With ``K>1``, group ``g`` runs its own
+        unmodified quorum/freeze dissemination instance over managers
+        ``s{g}m0..s{g}m{M-1}``, applications are consistent-hashed onto
+        groups by a :class:`~repro.protocols.sharding.ShardRouter`, and
+        hosts resolve ``Managers(A)`` through the ring.  ``n_managers``
+        is the *per-group* size ``M`` throughout.
+    interner:
+        Shared :class:`~repro.core.ids.Interner` backing every node's
+        hot state (ACL columns, cache keys, deny tables); created
+        fresh when omitted.  Mega-population runs pass
+        ``population.interner()`` so principal names are stored nowhere
+        but the population itself.
     """
 
     def __init__(
@@ -109,6 +127,8 @@ class AccessControlSystem:
         recheck_on_delivery: bool = False,
         check_invariants: Optional[bool] = None,
         scheduler=None,
+        shards: int = 1,
+        interner: Optional[Interner] = None,
     ):
         if n_managers < 1:
             raise ValueError("need at least one manager")
@@ -116,9 +136,12 @@ class AccessControlSystem:
             raise ValueError("host count cannot be negative")
         if not applications:
             raise ValueError("need at least one application")
+        if shards < 1:
+            raise ValueError("need at least one shard")
         self.policy = policy or AccessPolicy()
         self.policy.validate_for(n_managers)
         self.applications = tuple(applications)
+        self.interner = interner if interner is not None else Interner()
         self.streams = RngStreams(seed)
         self.env = Environment(scheduler=scheduler)
         self.tracer = Tracer(self.env, keep_log=keep_trace_log)
@@ -133,21 +156,53 @@ class AccessControlSystem:
             recheck_on_delivery=recheck_on_delivery,
         )
 
-        manager_addrs = tuple(f"m{i}" for i in range(n_managers))
+        # Manager groups.  The flat (K=1) deployment keeps the classic
+        # ``m{i}`` addresses; sharded groups are ``s{g}m{i}`` so group
+        # membership is visible in every trace and log line.
+        self.shards = shards
+        self._group_size = n_managers
+        if shards == 1:
+            group_addrs = [tuple(f"m{i}" for i in range(n_managers))]
+        else:
+            group_addrs = [
+                tuple(f"s{g}m{i}" for i in range(n_managers))
+                for g in range(shards)
+            ]
+        self.group_addrs: Tuple[Tuple[str, ...], ...] = tuple(group_addrs)
+        self.shard_router: Optional[ShardRouter] = None
+        if shards > 1:
+            self.shard_router = ShardRouter(self.group_addrs)
+
         self.managers: List[AccessControlManager] = []
-        for addr in manager_addrs:
-            manager = AccessControlManager(addr, self.policy)
-            for app in self.applications:
-                manager.manage(app, manager_addrs)
-            self.network.register(manager)
-            self.managers.append(manager)
-        self.manager_addrs = manager_addrs
+        self.manager_groups: List[List[AccessControlManager]] = []
+        for index, group in enumerate(self.group_addrs):
+            owned = [
+                app
+                for app in self.applications
+                if self.group_index_for(app) == index
+            ]
+            members: List[AccessControlManager] = []
+            for addr in group:
+                manager = AccessControlManager(
+                    addr, self.policy, interner=self.interner
+                )
+                # manage() before register(): attach spawns the per-app
+                # dissemination monitors from the declared memberships.
+                for app in owned:
+                    manager.manage(app, group)
+                self.network.register(manager)
+                members.append(manager)
+                self.managers.append(manager)
+            self.manager_groups.append(members)
+        self.manager_addrs = tuple(
+            addr for group in self.group_addrs for addr in group
+        )
 
         self.name_service: Optional[TrustedNameService] = None
         if use_name_service:
             self.name_service = TrustedNameService()
             for app in self.applications:
-                self.name_service.register(app, manager_addrs)
+                self.name_service.register(app, self.manager_addrs_for(app))
             self.network.register(self.name_service)
 
         clock_factory = ClockFactory(
@@ -164,13 +219,28 @@ class AccessControlSystem:
                     self.policy,
                     name_service=self.name_service.address,
                     clock=clock,
+                    interner=self.interner,
+                )
+            elif self.shard_router is not None:
+                # Sharded: hosts carry no static maps — the router is
+                # the (load-bearing) resolution path, a pure function
+                # of the application name and the ring.
+                host = ApplicationHost(
+                    f"h{i}",
+                    self.policy,
+                    clock=clock,
+                    interner=self.interner,
+                    shard_router=self.shard_router,
                 )
             else:
                 host = ApplicationHost(
                     f"h{i}",
                     self.policy,
-                    managers={app: manager_addrs for app in self.applications},
+                    managers={
+                        app: self.manager_addrs for app in self.applications
+                    },
                     clock=clock,
+                    interner=self.interner,
                 )
             self.network.register(host)
             self.hosts.append(host)
@@ -221,10 +291,30 @@ class AccessControlSystem:
         )
         return self.checker
 
+    # -- shard routing -----------------------------------------------------------
+    def group_index_for(self, application: str) -> int:
+        """Index of the manager group owning ``application`` (0 flat)."""
+        if self.shard_router is None:
+            return 0
+        return self.shard_router.shard_of(application)
+
+    def manager_addrs_for(self, application: str) -> Tuple[str, ...]:
+        """Addresses of the group serving ``application``."""
+        return self.group_addrs[self.group_index_for(application)]
+
+    def managers_for(self, application: str) -> List[AccessControlManager]:
+        """The manager objects serving ``application``."""
+        return self.manager_groups[self.group_index_for(application)]
+
+    def n_managers_for(self, application: str) -> int:
+        """``M`` for the group serving ``application``."""
+        return len(self.group_addrs[self.group_index_for(application)])
+
     # -- convenience ------------------------------------------------------------
     @property
     def n_managers(self) -> int:
-        return len(self.managers)
+        """Per-group manager count ``M`` (= total managers when K=1)."""
+        return self._group_size
 
     @property
     def n_hosts(self) -> int:
@@ -245,7 +335,7 @@ class AccessControlSystem:
         entry = AclEntry(
             user=user, right=right, granted=True, version=Version(1, _SEED_ORIGIN)
         )
-        for manager in self.managers:
+        for manager in self.managers_for(application):
             manager.bootstrap(application, [entry])
         tracer = self.tracer
         if tracer.wants(TraceKind.GRANT_SEEDED):
@@ -266,38 +356,47 @@ class AccessControlSystem:
             self.seed_grant(application, user, right)
 
     def set_app_policy(self, application: str, policy: AccessPolicy) -> None:
-        """Install a per-application policy on every host and manager."""
-        policy.validate_for(self.n_managers)
+        """Install a per-application policy on every host and the
+        owning manager group."""
+        policy.validate_for(self.n_managers_for(application))
         for host in self.hosts:
             host.set_policy(application, policy)
-        for manager in self.managers:
+        for manager in self.managers_for(application):
             manager.set_policy(application, policy)
 
     def register_application(self, application: str) -> None:
-        """Add a new application to every manager/host after construction."""
+        """Add a new application to its owning group and every host."""
         if application in self.applications:
             return
         self.applications = self.applications + (application,)
-        for manager in self.managers:
-            manager.manage(application, self.manager_addrs)
+        owners = self.manager_addrs_for(application)
+        for manager in self.managers_for(application):
+            manager.manage(application, owners)
         if self.name_service is not None:
-            self.name_service.register(application, self.manager_addrs)
+            self.name_service.register(application, owners)
         for host in self.hosts:
-            if self.name_service is None:
-                host.set_managers(application, self.manager_addrs)
+            if self.name_service is None and self.shard_router is None:
+                host.set_managers(application, owners)
 
-    def reachable_managers_from(self, host_index: int) -> int:
+    def reachable_managers_from(
+        self, host_index: int, application: Optional[str] = None
+    ) -> int:
         """Instantaneous count of managers reachable from a host
-        (ground truth for validation metrics, not visible to nodes)."""
+        (ground truth for validation metrics, not visible to nodes).
+        With ``application`` set, only the owning group is counted."""
         host = self.hosts[host_index]
+        addrs = (
+            self.manager_addrs
+            if application is None
+            else self.manager_addrs_for(application)
+        )
         return sum(
-            1
-            for addr in self.manager_addrs
-            if self.network.reachable(host.address, addr)
+            1 for addr in addrs if self.network.reachable(host.address, addr)
         )
 
     def __repr__(self) -> str:
+        shard_note = f" shards={self.shards}" if self.shards > 1 else ""
         return (
-            f"<AccessControlSystem M={self.n_managers} hosts={self.n_hosts} "
-            f"apps={list(self.applications)}>"
+            f"<AccessControlSystem M={self.n_managers} hosts={self.n_hosts}"
+            f"{shard_note} apps={list(self.applications)}>"
         )

@@ -67,6 +67,8 @@ class ApplicationHost(AccessControlHost):
         authenticator: Optional[Authenticator] = None,
         clock=None,
         manager_authenticator: Optional[Authenticator] = None,
+        interner=None,
+        shard_router=None,
     ):
         super().__init__(
             address,
@@ -75,6 +77,8 @@ class ApplicationHost(AccessControlHost):
             name_service=name_service,
             clock=clock,
             manager_authenticator=manager_authenticator,
+            interner=interner,
+            shard_router=shard_router,
         )
         self.authenticator = authenticator
         self.applications: Dict[str, Application] = {}

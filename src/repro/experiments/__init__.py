@@ -23,6 +23,7 @@ from . import (
     mobility,
     overhead,
     revocation,
+    sharded,
     table1,
     table2,
     validation,
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure5": figure5.run,
     "table1": table1.run,
     "table2": table2.run,
+    "sharded": sharded.run,
     "sim_table1": validation.run,
     "overhead": overhead.run,
     "latency": latency.run,

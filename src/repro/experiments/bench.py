@@ -239,6 +239,47 @@ def bench_cell_freeze(repeats: int) -> Dict[str, Any]:
     return _bench_cell(3, repeats)
 
 
+def bench_cell_sharded(repeats: int) -> Dict[str, Any]:
+    """The sharded mega-population cell at bench scale.
+
+    Drives the identity-interning + sharded-manager-group stack end to
+    end: a Zipf/diurnal workload over interned principals against K=3
+    independent manager groups, threshold-seeded through the columnar
+    bootstrap path.  Gates the per-run wall-clock of everything the
+    10^5-10^6 configurations exercise (arithmetic name ranges, the O(1)
+    harmonic sampler, shard routing, streamed seeding) at a size small
+    enough to repeat.
+    """
+    from ..workloads.mega import run_mega_cell
+
+    attempts = 0
+    started = time.perf_counter()
+    for index in range(repeats):
+        document = run_mega_cell(
+            n_principals=20_000,
+            shards=3,
+            n_managers=3,
+            n_hosts=3,
+            n_apps=3,
+            duration=60.0,
+            access_rate=30.0,
+            update_rate=0.2,
+            seed=index,
+        )
+        assert document["violations"] == 0, document
+        attempts += document["attempts"]
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "repeats": repeats,
+            "principals": 20_000,
+            "shards": 3,
+            "attempts": attempts,
+        },
+    }
+
+
 def _sweep_trial(_index: int, seed: int):
     """One replication of the synthetic sweep: a latency summary."""
     import random as _random
@@ -458,6 +499,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "cache_hit_checks": (bench_cache_hit_checks, 4_000, 1_000),
     "cell_quorum": (bench_cell_quorum, 10, 2),
     "cell_freeze": (bench_cell_freeze, 10, 2),
+    "cell_sharded": (bench_cell_sharded, 6, 2),
     "sweep_reduce": (bench_sweep_reduce, 64, 16),
     "timer_elision": (bench_timer_elision, 150_000, 30_000),
     "scheduler_churn": (bench_scheduler_churn, 150_000, 25_000),

@@ -149,6 +149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "mega":
+        from ..workloads.mega import main as mega_main
+
+        return mega_main(argv[1:])
     if argv and argv[0] == "serve":
         from ..net.serve import main as serve_main
 

@@ -110,23 +110,29 @@ class VerificationPipeline:
             return decision
 
         # -- Figure 3 fast path: the cache ---------------------------------
+        # ``probe`` is the allocation-free lookup: no CacheLookup object
+        # on the hot path, and unknown users never grow the interner.
         cache = host.cache_for(application)
         now_local = host.clock.now()
-        lookup = cache.lookup(user, right, now_local)
-        if lookup.hit:
+        cached = cache.probe(user, right, now_local)
+        if cached is not None:
             if tracer.wants(TraceKind.CACHE_HIT):
                 tracer.publish(
                     TraceKind.CACHE_HIT,
                     host.address,
                     application=application,
                     user=user,
-                    limit=lookup.entry.limit,
+                    limit=cached.limit,
                     now_local=now_local,
                 )
             else:
                 tracer.bump(TraceKind.CACHE_HIT)
             return decide(True, DecisionReason.CACHE, attempts=0, responses=0)
-        miss_kind = TraceKind.CACHE_EXPIRED if lookup.expired else TraceKind.CACHE_MISS
+        miss_kind = (
+            TraceKind.CACHE_EXPIRED
+            if cache.last_probe_expired
+            else TraceKind.CACHE_MISS
+        )
         if tracer.wants(miss_kind):
             tracer.publish(
                 miss_kind,
@@ -139,14 +145,17 @@ class VerificationPipeline:
 
         # -- negative-cache fast path (extension) --------------------------
         if policy.deny_cache_ttl is not None:
-            deny_limit = host._deny_cache.get((application, user, right))
+            deny_key = host._deny_probe(application, user, right)
+            deny_limit = (
+                host._deny_cache.get(deny_key) if deny_key is not None else None
+            )
             if deny_limit is not None:
                 if host.clock.now() < deny_limit:
                     host.stats["deny_cache_hits"] += 1
                     return decide(
                         False, DecisionReason.DENY_CACHED, attempts=0, responses=0
                     )
-                del host._deny_cache[(application, user, right)]
+                del host._deny_cache[deny_key]
 
         # -- verification rounds -------------------------------------------
         outcome, attempts, responses = yield from self.verify(
@@ -223,10 +232,12 @@ class VerificationPipeline:
                         )
                     else:
                         tracer.bump(TraceKind.CACHE_STORED)
-                    host._deny_cache.pop((application, user, right), None)
+                    host._deny_cache.pop(
+                        host._deny_key(application, user, right), None
+                    )
                     return (GRANT, attempts, len(responses))
                 if policy.deny_cache_ttl is not None:
-                    host._deny_cache[(application, user, right)] = (
+                    host._deny_cache[host._deny_key(application, user, right)] = (
                         host.clock.now() + policy.deny_cache_ttl
                     )
                 return (DENY, attempts, len(responses))

@@ -1,9 +1,14 @@
-"""``Managers(A)`` resolution: static config, TTL cache, name service.
+"""``Managers(A)`` resolution: static config, shard router, TTL cache,
+name service.
 
 Section 3.2, last paragraph: hosts resolve the manager set for an
 application through a trusted name service and may cache the answer for
 a policy-bounded TTL.  Statically configured manager sets short-circuit
-the lookup entirely (the experiments' usual mode).
+the lookup entirely (the experiments' usual mode).  Sharded systems
+instead install a :class:`~repro.protocols.sharding.ShardRouter` on the
+host: the owning manager *group* is a pure function of the application
+name and the ring, so no lookup round-trip is needed and every process
+routes identically.
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ class ManagerResolver:
         static = host._static_managers.get(application)
         if static:
             return static
+        router = host.shard_router
+        if router is not None:
+            return router.group_for(application)
         cached = host._ns_cache.get(application)
         if cached is not None and host.clock.now() < cached[1]:
             return cached[0]

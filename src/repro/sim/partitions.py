@@ -219,7 +219,17 @@ class ScriptedConnectivity(ConnectivityModel):
                 tracer.bump(TraceKind.PARTITION_STARTED)
 
     def heal(self) -> None:
-        """Remove the grouping (individual downed links stay down)."""
+        """Fully restore connectivity: remove the grouping AND revive
+        every individually downed link.
+
+        This matches the live backend's ``LiveConnectivity.heal()``
+        semantics (clear all blocked pairs); the historical behaviour —
+        healing only the grouping and leaving ``set_down``/``isolate``
+        links severed — forced differential scenarios to issue manual
+        ``reconnect`` steps as a workaround.  Use ``set_up``/
+        ``reconnect`` to restore individual links selectively.
+        """
+        self._down.clear()
         self._component = None
         self.bump_epoch()
         tracer = self.tracer

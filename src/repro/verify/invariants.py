@@ -176,6 +176,10 @@ class TeBoundInvariant(Invariant):
         self._quorum_at: Dict[str, float] = {}
         # update_id -> real time every manager had applied it
         self._propagated_at: Dict[str, float] = {}
+        # app -> (prefix, n, seed_time): mega-scale bulk seeds announce
+        # "users prefix0..prefix{n-1} hold Version(1, '') grants" as one
+        # record; individual entries materialise lazily on first access.
+        self._seed_ranges: Dict[str, Tuple[str, int, float]] = {}
 
     def kinds(self) -> Tuple[str, ...]:
         return (
@@ -203,6 +207,14 @@ class TeBoundInvariant(Invariant):
     def on_record(self, record: TraceRecord) -> None:
         kind, data = record.kind, record.data
         if kind == TraceKind.GRANT_SEEDED:
+            if "seeded_below" in data:
+                # Bulk threshold seed: one record for a whole uid range.
+                self._seed_ranges[data["application"]] = (
+                    data.get("user_prefix", "u"),
+                    data["seeded_below"],
+                    record.time,
+                )
+                return
             key = (data["application"], data["user"], data.get("right", "use"))
             # seed_grant installs Version(1, "") on every manager.
             self._apply_op(key, (1, ""), True, record.time, None)
@@ -218,6 +230,30 @@ class TeBoundInvariant(Invariant):
             self._check_access(record)
         elif kind == TraceKind.CACHE_STORED:
             self._check_stamp(record)
+
+    def _seeded_baseline(
+        self, key: Tuple[str, str, str], application: str
+    ) -> Optional[Tuple[Tuple[int, str], bool, float, Optional[str]]]:
+        """Materialise a bulk-seeded grant for ``key`` if its uid falls
+        inside the announced range (canonical decimal names only).
+        Memoised into ``_latest`` so later protocol updates supersede
+        it by ordinary version comparison; memory stays proportional to
+        *accessed* users, never the population."""
+        seeded = self._seed_ranges.get(application)
+        if seeded is None:
+            return None
+        prefix, below, seed_time = seeded
+        user = key[1]
+        if not user.startswith(prefix):
+            return None
+        digits = user[len(prefix):]
+        if not digits.isdigit() or (len(digits) > 1 and digits[0] == "0"):
+            return None
+        if int(digits) >= below:
+            return None
+        entry = ((1, ""), True, seed_time, None)
+        self._latest[key] = entry
+        return entry
 
     # -- the semantic layer -------------------------------------------------
     def _round_slack(self, policy: AccessPolicy, m: int) -> float:
@@ -235,6 +271,8 @@ class TeBoundInvariant(Invariant):
         application = data["application"]
         key = (application, data["user"], data.get("right", "use"))
         latest = self._latest.get(key)
+        if latest is None:
+            latest = self._seeded_baseline(key, application)
         if latest is None:
             self.report(
                 record,
@@ -474,11 +512,18 @@ class ConvergenceInvariant(Invariant):
 
     def finalize(self) -> None:
         system = self.checker.system
-        live = [m for m in system.managers if m.up and not m.recovering]
-        if len(live) < 2:
-            return
-        reference = live[0]
+        all_live = [m for m in system.managers if m.up and not m.recovering]
         for application in system.applications:
+            # Under sharding only the owning group replicates this app;
+            # convergence is a per-group property.
+            live = [
+                m
+                for m in all_live
+                if application in getattr(m, "acls", {application: None})
+            ]
+            if len(live) < 2:
+                continue
+            reference = live[0]
             ref_state = {
                 (e.user, e.right): (e.granted, e.version)
                 for e in reference.acl(application).snapshot()
@@ -572,11 +617,21 @@ class InvariantChecker:
 
     # -- context the oracles need ------------------------------------------
     def policy(self, application: str) -> AccessPolicy:
-        """The policy governing ``application`` (honouring overrides)."""
-        return self.system.managers[0].policy_for(application)
+        """The policy governing ``application`` (honouring overrides).
+
+        Routed through the owning manager group when the system is
+        sharded — policy overrides live only on the owning managers.
+        """
+        managers_for = getattr(self.system, "managers_for", None)
+        managers = (
+            managers_for(application) if managers_for else self.system.managers
+        )
+        return managers[0].policy_for(application)
 
     def n_managers(self, application: str) -> int:
-        return self.system.n_managers
+        """``M`` for the group serving ``application``."""
+        n_for = getattr(self.system, "n_managers_for", None)
+        return n_for(application) if n_for else self.system.n_managers
 
     # -- record dispatch -----------------------------------------------------
     def _run_static(self, application: str) -> None:

@@ -7,12 +7,13 @@ from .generators import (
     ObservedDecision,
     UpdateWorkload,
 )
-from .population import UserPopulation
+from .population import DiurnalRate, UserPopulation
 from .scenarios import Scenario, steady_state_scenario
 
 __all__ = [
     "AccessWorkload",
     "AuthorizationOracle",
+    "DiurnalRate",
     "FlashCrowdWorkload",
     "ObservedDecision",
     "Scenario",

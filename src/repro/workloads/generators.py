@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.host import AccessControlHost, AccessDecision
 from ..core.manager import AccessControlManager
 from ..core.rights import Right
 from ..core.system import AccessControlSystem
-from .population import UserPopulation
+from .population import DiurnalRate, UserPopulation
 
 __all__ = [
     "ObservedDecision",
@@ -62,17 +62,29 @@ class AuthorizationOracle:
         self.expiry_bound = expiry_bound
         self._granted: Set[Tuple[str, str]] = set()
         self._revoked_at: Dict[Tuple[str, str], float] = {}
+        self._counts: Dict[str, int] = {}
 
     def grant(self, application: str, user: str) -> None:
-        self._granted.add((application, user))
-        self._revoked_at.pop((application, user), None)
+        key = (application, user)
+        if key not in self._granted:
+            self._granted.add(key)
+            self._counts[application] = self._counts.get(application, 0) + 1
+        self._revoked_at.pop(key, None)
 
     def revoke(self, application: str, user: str, time: float) -> None:
-        self._granted.discard((application, user))
-        self._revoked_at[(application, user)] = time
+        key = (application, user)
+        if key in self._granted:
+            self._granted.discard(key)
+            self._counts[application] -= 1
+        self._revoked_at[key] = time
 
     def is_authorized(self, application: str, user: str) -> bool:
         return (application, user) in self._granted
+
+    def authorized_count(self, application: str) -> int:
+        """How many users are currently authorized — O(1), so update
+        workloads never scan the population."""
+        return self._counts.get(application, 0)
 
     def in_grace(self, application: str, user: str, time: float) -> bool:
         """True while a revocation is inside its allowed Te window."""
@@ -89,7 +101,13 @@ class AuthorizationOracle:
 
 
 class AccessWorkload:
-    """Poisson stream of access attempts against a set of hosts."""
+    """Poisson stream of access attempts against a set of hosts.
+
+    ``rate`` is either a flat float (homogeneous Poisson — the
+    historical, draw-identical path) or a
+    :class:`~repro.workloads.population.DiurnalRate` (non-homogeneous
+    Poisson realised by thinning against the profile's peak rate).
+    """
 
     def __init__(
         self,
@@ -97,13 +115,13 @@ class AccessWorkload:
         application: str,
         population: UserPopulation,
         oracle: AuthorizationOracle,
-        rate: float,
+        rate: Union[float, DiurnalRate],
         rng: Optional[random.Random] = None,
         hosts: Optional[Sequence[AccessControlHost]] = None,
         on_decision: Optional[Callable[[ObservedDecision], None]] = None,
         keep_observations: bool = True,
     ):
-        if rate <= 0:
+        if not isinstance(rate, DiurnalRate) and rate <= 0:
             raise ValueError("access rate must be positive")
         self.system = system
         self.application = application
@@ -127,8 +145,16 @@ class AccessWorkload:
 
     def _drive(self):
         env = self.system.env
+        profile = self.rate if isinstance(self.rate, DiurnalRate) else None
+        flat_rate = profile.peak if profile is not None else self.rate
         while True:
-            yield env.timeout(self.rng.expovariate(self.rate))
+            yield env.timeout(self.rng.expovariate(flat_rate))
+            if profile is not None:
+                # Thinning: accept each candidate arrival with
+                # probability rate(t)/peak, yielding the exact
+                # non-homogeneous Poisson process.
+                if self.rng.random() * profile.peak > profile.rate(env.now):
+                    continue
             host = self.rng.choice(self.hosts)
             if not host.up:
                 continue  # the user "simply has to locate a new host"
@@ -297,11 +323,15 @@ class UpdateWorkload:
             user = self.population.sample(self.rng)
             authorized = self.oracle.is_authorized(self.application, user)
             # Bias the flip towards maintaining the target fraction.
-            n_authorized = sum(
-                1
-                for candidate in self.population
-                if self.oracle.is_authorized(self.application, candidate)
-            )
+            counter = getattr(self.oracle, "authorized_count", None)
+            if counter is not None:
+                n_authorized = counter(self.application)
+            else:  # custom oracle without the O(1) counter: full scan
+                n_authorized = sum(
+                    1
+                    for candidate in self.population
+                    if self.oracle.is_authorized(self.application, candidate)
+                )
             fraction = n_authorized / len(self.population)
             if authorized and fraction > self.target_fraction:
                 self._revoke(manager, user)

@@ -183,7 +183,8 @@ class TestNegativeCache:
         verified = harness.check("alice")
         assert verified.allowed
         # A subsequent denial path must not resurface the stale entry.
-        assert (APP, "alice", Right.USE) not in harness.host._deny_cache
+        host = harness.host
+        assert host._deny_key(APP, "alice", Right.USE) not in host._deny_cache
 
     def test_query_load_shed(self):
         shed = ExtensionHarness(policy(deny_cache_ttl=1000.0))

@@ -33,7 +33,7 @@ class TestRegistry:
             "figure5", "table1", "table2", "sim_table1", "overhead",
             "latency", "revocation", "freeze_vs_quorum", "baselines",
             "heterogeneous", "weighted_quorums", "mobility",
-            "cache_extensions", "byzantine", "caching",
+            "cache_extensions", "byzantine", "caching", "sharded",
         }
         assert set(EXPERIMENTS) == expected
 
@@ -330,3 +330,28 @@ class TestCli:
             line for line in text.splitlines() if "completed in" not in line
         ]
         assert strip(parallel_out) == strip(sequential_out)
+
+
+class TestShardedExperiment:
+    def test_per_shard_curves_match_flat_analysis(self):
+        from repro.experiments import sharded
+
+        result = sharded.run(m=3, shards=2, cs=(1, 2), trials=150, seed=0)
+        assert result.experiment_id == "sharded"
+        assert len(result.rows) == 2 * 2  # |cs| x shards
+        # The acceptance gate: every shard's Wilson interval contains
+        # the flat analytic availability.
+        assert "contains the flat analytic curve" in result.notes
+        for c, shard, pa_true, pa_hat, lo, hi in result.rows:
+            assert lo - 1e-9 <= pa_true <= hi + 1e-9
+
+    def test_app_for_shard_is_deterministic_and_correct(self):
+        from repro.experiments.sharded import app_for_shard
+        from repro.protocols.sharding import ShardRouter
+
+        groups = [tuple(f"s{g}m{i}" for i in range(3)) for g in range(4)]
+        router = ShardRouter(groups)
+        for shard in range(4):
+            app = app_for_shard(4, 3, shard)
+            assert router.shard_of(app) == shard
+            assert app_for_shard(4, 3, shard) == app

@@ -23,7 +23,7 @@ class TestHostSurface:
     def test_constructor_signature(self):
         assert params(AccessControlHost.__init__) == [
             "self", "address", "policy", "managers", "name_service",
-            "clock", "manager_authenticator",
+            "clock", "manager_authenticator", "interner", "shard_router",
         ]
 
     def test_check_access_signature(self):
@@ -73,7 +73,7 @@ class TestManagerSurface:
     def test_constructor_signature(self):
         assert params(AccessControlManager.__init__) == [
             "self", "address", "policy", "principal", "store",
-            "admin_authenticator",
+            "admin_authenticator", "interner",
         ]
 
     def test_add_signature(self):

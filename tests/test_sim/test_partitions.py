@@ -93,14 +93,34 @@ class TestScriptedConnectivity:
         model.heal()
         assert model.is_reachable("a", "c")
 
-    def test_downed_link_survives_heal(self):
+    def test_heal_revives_downed_links(self):
+        # Regression (PR-7 known bug): heal() used to remove only the
+        # grouping, leaving explicitly downed links severed — unlike the
+        # live backend, which clears every blocked pair.
         model = ScriptedConnectivity()
         attach(model)
         model.set_down("a", "c")
         model.partition([["a", "b"], ["c"]])
         model.heal()
-        assert not model.is_reachable("a", "c")
+        assert model.is_reachable("a", "c")
         assert model.is_reachable("a", "b")
+
+    def test_heal_revives_isolated_node(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.isolate("h", ["m0", "m1"])
+        assert not model.is_reachable("h", "m0")
+        model.heal()
+        assert model.is_reachable("h", "m0")
+        assert model.is_reachable("h", "m1")
+
+    def test_heal_restores_component_table(self):
+        model = ScriptedConnectivity()
+        attach(model)
+        model.set_down("a", "b")
+        assert model.component_table() is None
+        model.heal()
+        assert model.component_table() == {}
 
 
 class TestBernoulliPerMessage:

@@ -253,3 +253,117 @@ class TestFlashCrowd:
                 system, APP, ["u"], AuthorizationOracle(60.0),
                 start=0.0, accesses_per_user=0,
             )
+
+
+class TestAuthorizedCount:
+    def test_counts_track_grant_revoke(self):
+        oracle = AuthorizationOracle(60.0)
+        assert oracle.authorized_count(APP) == 0
+        oracle.grant(APP, "a")
+        oracle.grant(APP, "b")
+        oracle.grant(APP, "a")  # idempotent
+        assert oracle.authorized_count(APP) == 2
+        oracle.revoke(APP, "a", time=1.0)
+        oracle.revoke(APP, "a", time=2.0)  # idempotent
+        assert oracle.authorized_count(APP) == 1
+        assert oracle.authorized_count("other") == 0
+
+    def test_update_workload_never_scans_population(self):
+        """The O(1) counter keeps update cost independent of n_users."""
+        system = small_system()
+        population = UserPopulation(100_000)
+
+        class CountingOracle(AuthorizationOracle):
+            calls = 0
+
+            def is_authorized(self, application, user):
+                CountingOracle.calls += 1
+                return super().is_authorized(application, user)
+
+        oracle = CountingOracle(60.0)
+        UpdateWorkload(
+            system, APP, population, oracle, rate=1.0,
+            rng=system.streams.stream("u"),
+        )
+        system.run(until=60.0)
+        # One membership probe per issued update, not one per user.
+        assert 0 < CountingOracle.calls < 1000
+
+    def test_fallback_scan_for_counterless_oracles(self):
+        system = small_system()
+        population = UserPopulation(10)
+
+        class BareOracle:
+            """Duck-typed oracle without authorized_count."""
+
+            def __init__(self):
+                self.granted = set()
+
+            def is_authorized(self, application, user):
+                return user in self.granted
+
+            def grant(self, application, user):
+                self.granted.add(user)
+
+            def revoke(self, application, user, time):
+                self.granted.discard(user)
+
+        oracle = BareOracle()
+        workload = UpdateWorkload(
+            system, APP, population, oracle, rate=1.0,
+            rng=system.streams.stream("u"),
+        )
+        system.run(until=30.0)
+        assert workload.adds > 0
+
+
+class TestDiurnalAccessWorkload:
+    def test_flat_float_path_draw_identical(self):
+        """Passing a float must replay the exact historical stream."""
+        def run_once():
+            system = small_system(seed=9)
+            population = UserPopulation(10)
+            oracle = AuthorizationOracle(60.0)
+            for user in population.head(5):
+                system.seed_grant(APP, user)
+                oracle.grant(APP, user)
+            workload = AccessWorkload(
+                system, APP, population, oracle, rate=5.0,
+                rng=system.streams.stream("w"),
+            )
+            system.run(until=30.0)
+            return [(o.time, o.user) for o in workload.observations]
+
+        assert run_once() == run_once()
+
+    def test_diurnal_profile_shapes_traffic(self):
+        from repro.workloads.population import DiurnalRate
+
+        system = small_system(seed=10)
+        population = UserPopulation(5)
+        oracle = AuthorizationOracle(60.0)
+        for user in population:
+            system.seed_grant(APP, user)
+            oracle.grant(APP, user)
+        profile = DiurnalRate(base=20.0, amplitude=0.9, period=200.0)
+        workload = AccessWorkload(
+            system, APP, population, oracle, rate=profile,
+            rng=system.streams.stream("w"),
+        )
+        system.run(until=200.0)
+        # Peak quarter-cycle is centred on t=50, trough on t=150.
+        peak = sum(1 for o in workload.observations if 25 <= o.time < 75)
+        trough = sum(1 for o in workload.observations if 125 <= o.time < 175)
+        assert peak > 3 * trough
+        assert workload.attempts > 0
+
+    def test_diurnal_rate_validated_via_dataclass(self):
+        from repro.workloads.population import DiurnalRate
+
+        system = small_system(seed=11)
+        profile = DiurnalRate(base=1.0, amplitude=0.0)
+        workload = AccessWorkload(
+            system, APP, UserPopulation(3), AuthorizationOracle(60.0),
+            rate=profile, rng=system.streams.stream("w"),
+        )
+        assert workload.rate is profile
