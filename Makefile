@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare net-smoke population-smoke mega profile experiments examples all clean
+.PHONY: install test test-calendar test-slow lint fuzz bench bench-smoke bench-ab bench-baseline bench-compare bench-parallel net-smoke population-smoke sim-parallel mega profile experiments examples all clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -57,6 +57,17 @@ net-smoke:
 population-smoke:
 	PYTHONPATH=src python -m repro.experiments.cli mega --principals 100000 \
 		--duration 120 --check-invariants --budget 240
+
+# One mega run region-sharded across forked simulation workers
+# (K=4 manager groups as 4 region processes; byte-identical to K=1).
+sim-parallel:
+	PYTHONPATH=src python -m repro.experiments.cli mega --principals 100000 \
+		--duration 120 --sim-regions 4 --sim-jobs 4 --budget 600
+
+# The parallel-simulation gate cell: K=1 flat vs K=4 forked, counted
+# statistics asserted equal, null-message overhead in the meta.
+bench-parallel:
+	PYTHONPATH=src python -m repro bench cell_parallel_sim --repeats 3 --no-artifact
 
 # The full mega soak: 10^6 principals (minutes of wall-clock; run on a
 # quiet machine and watch peak RSS stay O(population)).

@@ -324,6 +324,23 @@ class AccessControlSystem:
         """Advance the simulation."""
         self.env.run(until=until)
 
+    def run_partitioned(
+        self, plan=None, until: Optional[float] = None,
+        jobs: Optional[int] = 1,
+    ) -> dict:
+        """Advance via the region-sharded driver (see
+        :meth:`repro.sim.engine.Environment.run_partitioned`).
+
+        A system built by this class lives in one environment, so with
+        the default ``plan=None`` this is exactly :meth:`run` (the
+        K=1 contract); pass a bound
+        :class:`~repro.sim.regions.RegionPlan` that includes
+        ``self.env`` to take part in a multi-region deployment — the
+        region-native scenario layer is
+        :class:`~repro.workloads.regional.RegionalDeployment`.
+        """
+        return self.env.run_partitioned(plan, until=until, jobs=jobs)
+
     def seed_grant(
         self, application: str, user: str, right: Right = Right.USE
     ) -> None:

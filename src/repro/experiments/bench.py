@@ -24,13 +24,14 @@ minimum is the stable representative).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import platform
 import random
 import statistics
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..sim.engine import Environment
 from ..sim.network import FixedLatency, Network
@@ -491,6 +492,80 @@ def bench_batched_fanout(rounds: int) -> Dict[str, Any]:
     }
 
 
+def bench_cell_parallel_sim(repeats: int) -> Dict[str, Any]:
+    """Region-sharded mega cell: K=1 flat vs K=4 forked workers.
+
+    One wide-area scenario of four manager groups, run twice per
+    repeat: single-process (the K=1 zero-overhead contract) and
+    partitioned into four region processes synchronized by null
+    messages.  The gated time is the *forked* run — the configuration
+    the parallel engine exists for — so both a slower engine and a
+    lookahead/synchronization regression move the gate.  The meta
+    records the flat/forked speedup, the null-message overhead ratio
+    (``nulls_sent / real msgs`` — the conservative protocol's price,
+    which rises when lookahead shrinks), and the CPU budget the speedup
+    was measured under.  The ≥2.5x speedup target is asserted only when
+    at least 4 CPUs are actually available; the cross-mode equality of
+    every counted statistic is asserted unconditionally.
+    """
+    from ..runtime.pool import available_cpus
+    from ..runtime.regionpool import last_partitioned_mode
+    from ..workloads.regional import run_regional_cell
+
+    cell = dict(
+        n_principals=8_000, groups=4, n_managers=3, n_hosts=2,
+        duration=30.0, access_rate=24.0, remote_rate=4.0, update_rate=0.2,
+    )
+    flat_elapsed = 0.0
+    forked_elapsed = 0.0
+    nulls = 0
+    real = 0
+    attempts = 0
+    mode = None
+    for index in range(repeats):
+        started = time.perf_counter()
+        flat = run_regional_cell(regions=1, jobs=1, seed=11 + index, **cell)
+        flat_elapsed += time.perf_counter() - started
+        started = time.perf_counter()
+        forked = run_regional_cell(regions=4, jobs=4, seed=11 + index, **cell)
+        forked_elapsed += time.perf_counter() - started
+        mode = last_partitioned_mode()
+        assert forked["counts"] == flat["counts"], (
+            "partitioned counts diverged from the flat run:\n"
+            f"  flat:   {flat['counts']}\n  forked: {forked['counts']}"
+        )
+        for key in ("sent", "delivered", "dropped"):
+            assert forked["net"][key] == flat["net"][key], (
+                f"net.{key}: flat {flat['net'][key]} "
+                f"!= forked {forked['net'][key]}"
+            )
+        assert flat["violations"] == 0, flat
+        nulls += forked["nulls_sent"]
+        real += forked["net"]["sent"]
+        attempts += flat["counts"]["attempts"]
+    speedup = flat_elapsed / forked_elapsed if forked_elapsed else float("inf")
+    cpus = available_cpus()
+    if cpus >= 4 and mode == "forked":
+        assert speedup >= 2.5, (
+            f"K=4 speedup target missed on {cpus} CPUs: {speedup:.2f}x < 2.5x"
+        )
+    return {
+        "elapsed": forked_elapsed,
+        "meta": {
+            "repeats": repeats,
+            "groups": 4,
+            "regions": 4,
+            "mode": mode,
+            "cpus": cpus,
+            "attempts": attempts,
+            "speedup_vs_flat": round(speedup, 3),
+            "flat_seconds": round(flat_elapsed, 3),
+            "nulls_sent": nulls,
+            "nulls_per_real_msg": round(nulls / real, 4) if real else 0.0,
+        },
+    }
+
+
 #: name -> (function, full-size argument, quick-size argument).
 BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "msg_send_deliver": (bench_msg_send_deliver, 120_000, 20_000),
@@ -504,6 +579,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "timer_elision": (bench_timer_elision, 150_000, 30_000),
     "scheduler_churn": (bench_scheduler_churn, 150_000, 25_000),
     "batched_fanout": (bench_batched_fanout, 8_000, 1_500),
+    "cell_parallel_sim": (bench_cell_parallel_sim, 3, 1),
 }
 
 
@@ -626,6 +702,36 @@ def compare_results(
     return lines, comparison
 
 
+@contextlib.contextmanager
+def _scheduler_override(name: Optional[str]) -> Iterator[None]:
+    """Apply a ``--scheduler`` A/B override for the duration of a block.
+
+    Sets both the module global (cells with their own default, e.g.
+    ``scheduler_churn``) and ``REPRO_SCHEDULER`` (cells that build a
+    default :class:`Environment`), and restores the previous state on
+    *any* exit — including KeyboardInterrupt or a failing cell — so an
+    interrupted bench can never leak the override into later runs in
+    the same process.  Every measurement, including the regression
+    re-measure retries, must happen inside this block.
+    """
+    global BENCH_SCHEDULER
+    if not name:
+        yield
+        return
+    saved_global = BENCH_SCHEDULER
+    saved_env = os.environ.get(SCHEDULER_ENV_VAR)
+    BENCH_SCHEDULER = name
+    os.environ[SCHEDULER_ENV_VAR] = name
+    try:
+        yield
+    finally:
+        BENCH_SCHEDULER = saved_global
+        if saved_env is None:
+            os.environ.pop(SCHEDULER_ENV_VAR, None)
+        else:
+            os.environ[SCHEDULER_ENV_VAR] = saved_env
+
+
 def next_trajectory_path(directory: str) -> str:
     """First free ``BENCH_<n>.json`` path under ``directory`` (n >= 1)."""
     n = 1
@@ -738,34 +844,61 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 0
 
-    global BENCH_SCHEDULER
-    saved_env = os.environ.get(SCHEDULER_ENV_VAR)
-    if args.scheduler:
-        # Existing cells build a default Environment, so the env var is
-        # the one lever that A/Bs the entire matrix; cells with their
-        # own default (scheduler_churn) read the module global.
-        BENCH_SCHEDULER = args.scheduler
-        os.environ[SCHEDULER_ENV_VAR] = args.scheduler
-    try:
+    # Every measurement — the main suite AND the regression re-measure
+    # retries below — happens inside the override block, so retried
+    # cells run under the same scheduler their first sample did and an
+    # interrupted run cannot leak the override.
+    with _scheduler_override(args.scheduler):
         from .cli import _profiled
 
         with _profiled(args.profile, os.path.join(args.out, "repro-bench.prof")):
             document = run_suite(
                 quick=args.quick, repeats=args.repeats, names=args.names or None
             )
-    finally:
-        if args.scheduler:
-            BENCH_SCHEDULER = None
-            if saved_env is None:
-                os.environ.pop(SCHEDULER_ENV_VAR, None)
-            else:
-                os.environ[SCHEDULER_ENV_VAR] = saved_env
+
+        current = {
+            name: entry["best"]
+            for name, entry in document["benchmarks"].items()
+        }
+        regressions: List[str] = []
+        lines: List[str] = []
+        comparison: Dict[str, Any] = {}
+        try:
+            baseline: Optional[Dict[str, float]] = load_medians(args.baseline)
+        except FileNotFoundError:
+            baseline = None
+        if baseline is not None:
+            lines, comparison = compare_results(
+                baseline, current, args.threshold
+            )
+            regressions = comparison.pop("_regressions")
+            # A flagged benchmark gets re-measured: a slow sample can
+            # only be load, so the minimum over every attempt is the
+            # honest figure.
+            for attempt in range(args.retries):
+                if not regressions:
+                    break
+                print(
+                    f"\nre-measuring {', '.join(regressions)} "
+                    f"(retry {attempt + 1}/{args.retries})"
+                )
+                redo = run_suite(
+                    quick=args.quick, repeats=args.repeats, names=regressions
+                )
+                for name, entry in redo["benchmarks"].items():
+                    if entry["best"] < current[name]:
+                        current[name] = entry["best"]
+                        document["benchmarks"][name] = entry
+                lines, comparison = compare_results(
+                    baseline, current, args.threshold
+                )
+                regressions = comparison.pop("_regressions")
 
     for name, entry in document["benchmarks"].items():
         meta = entry.get("meta", {})
         extras = "".join(
             f", {key}={meta[key]}"
-            for key in ("scheduler", "dead_pops")
+            for key in ("scheduler", "dead_pops", "speedup_vs_flat", "mode")
             if key in meta
         )
         print(
@@ -774,37 +907,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{args.repeats} run(s) of {entry['size']} ops{extras})"
         )
 
-    current = {
-        name: entry["best"] for name, entry in document["benchmarks"].items()
-    }
-    regressions: List[str] = []
-    try:
-        baseline = load_medians(args.baseline)
-    except FileNotFoundError:
-        baseline = None
+    if baseline is None:
         print(f"\nno baseline at {args.baseline}; "
               "record one with `repro bench --record`")
-    if baseline is not None:
-        lines, comparison = compare_results(baseline, current, args.threshold)
-        regressions = comparison.pop("_regressions")
-        # A flagged benchmark gets re-measured: a slow sample can only be
-        # load, so the minimum over every attempt is the honest figure.
-        for attempt in range(args.retries):
-            if not regressions:
-                break
-            print(
-                f"\nre-measuring {', '.join(regressions)} "
-                f"(retry {attempt + 1}/{args.retries})"
-            )
-            redo = run_suite(
-                quick=args.quick, repeats=args.repeats, names=regressions
-            )
-            for name, entry in redo["benchmarks"].items():
-                if entry["best"] < current[name]:
-                    current[name] = entry["best"]
-                    document["benchmarks"][name] = entry
-            lines, comparison = compare_results(baseline, current, args.threshold)
-            regressions = comparison.pop("_regressions")
+    else:
         print()
         print("\n".join(lines))
         document["baseline"] = args.baseline

@@ -1,0 +1,334 @@
+"""Forked region workers with null-message synchronization.
+
+The process layer of the region-sharded engine
+(:mod:`repro.sim.regions`): each worker owns a *cluster* of one or more
+regions (``jobs < K`` round-robins regions onto workers), advances it
+with :func:`~repro.sim.regions.advance_cluster`, and exchanges
+timestamped envelope batches plus Chandy-Misra-Bryant promises with its
+peers over bounded ``multiprocessing`` queues.
+
+Protocol
+--------
+Each worker tracks, per peer, the peer's last *promise* — a lower bound
+on the timestamp of any envelope the peer will ever send it again.  The
+worker's external horizon is the minimum in-promise; its cluster runs
+conservatively up to (exclusive of) that horizon, with exact next-event
+coupling *inside* the cluster.  After every advance the worker computes
+its own promise, ``min(next event over its regions) + lookahead``, and
+
+* **piggybacks** it on any real envelope batch leaving for a peer
+  (one atomic queue message: ``(sender, envelopes, promise)``), or
+* sends it as an explicit **null message** (``envelopes=None``) when it
+  has increased and the worker is about to block, or
+* re-sends it from the **idle-timeout fallback**, so a lost race
+  between "peer computed its horizon" and "my null arrived" can stall a
+  peer for at most one timeout.
+
+Promises are monotone, so receiving one out of order is harmless; a
+batch and the promise that covers it travel in one message, so a
+promise can never overtake the envelopes it accounts for.
+
+Termination (bounded ``until`` only): a worker is done once every
+in-promise and every local next-event time is strictly past ``until``
+— at that point all envelopes with timestamps ≤ ``until`` have been
+received and processed.  It runs each region inclusively to ``until``
+(clock advance, matching the flat run), broadcasts an infinite promise
+to release any still-blocked peer, ships ``collect(region)`` payloads
+over the result queue, and exits.  Open-ended runs (``until=None``)
+would need distributed termination detection and fall back to the
+in-process coupled driver with a warning.
+
+Determinism: each region's event sequence is a pure function of the
+envelopes it receives, which carry canonical ``(time, src_region,
+seq)`` ids — window boundaries, promise timing, and worker count are
+all unobservable.  ``jobs=N`` is therefore byte-identical to
+``jobs=1`` for the same plan; the differential suite pins it.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import queue as queue_module
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..sim.engine import SimulationError
+from ..sim.regions import (
+    Envelope,
+    Region,
+    RegionPlan,
+    advance_cluster,
+    extract_lookahead,
+    run_coupled,
+)
+from .pool import _fork_available, resolve_jobs
+
+__all__ = ["run_partitioned", "last_partitioned_mode"]
+
+#: Seconds a blocked worker waits before re-broadcasting its promises.
+IDLE_TIMEOUT = 0.2
+
+#: Bounded channel depth.  Deep enough that envelope batches and nulls
+#: never block a healthy sender; the post-exit safety valve is a
+#: timed put that drops (the receiver is gone and done).
+_CHANNEL_DEPTH = 4096
+
+_last_partitioned_mode: Optional[str] = None
+
+
+def last_partitioned_mode() -> Optional[str]:
+    """How the most recent :func:`run_partitioned` actually ran
+    (``"forked"``, ``"coupled"``, or ``"coupled-fallback"``)."""
+    return _last_partitioned_mode
+
+
+def _collect_all(
+    cluster: Sequence[Region], collect: Optional[Callable[[Region], Any]]
+) -> Dict[int, Any]:
+    if collect is None:
+        return {}
+    return {region.index: collect(region) for region in cluster}
+
+
+def _safe_put(channel: Any, message: Any) -> None:
+    """Put that tolerates a departed receiver (bounded channel full)."""
+    try:
+        channel.put(message, timeout=IDLE_TIMEOUT)
+    except queue_module.Full:  # pragma: no cover - peer exited full
+        pass
+
+
+def _worker_loop(
+    worker_id: int,
+    cluster: List[Region],
+    plan: RegionPlan,
+    until: float,
+    lookahead: float,
+    owner_of_region: Dict[int, int],
+    in_channel: Any,
+    out_channels: Dict[int, Any],
+    result_channel: Any,
+    collect: Optional[Callable[[Region], Any]],
+) -> None:
+    peers = sorted(out_channels)
+    # All regions start at the same initial time with empty channels, so
+    # the first safe promise from everyone is (start time + lookahead).
+    start = min(region.env.now for region in cluster)
+    promise_in = {p: start + lookahead for p in peers}
+    promise_out = {p: -math.inf for p in peers}
+    nulls_sent = 0
+    region_of = plan.region_of
+
+    def deposit(message: Any) -> None:
+        sender, envelopes, promise = message
+        if envelopes:
+            by_region: Dict[int, List[Envelope]] = {}
+            for envelope in envelopes:
+                by_region.setdefault(region_of(envelope.dst), []).append(
+                    envelope
+                )
+            for region in cluster:
+                batch = by_region.get(region.index)
+                if batch:
+                    region.pending.extend(batch)
+        if promise > promise_in[sender]:
+            promise_in[sender] = promise
+
+    def drain(block: bool) -> bool:
+        """Apply queued peer messages; True if anything arrived."""
+        got = False
+        if block:
+            try:
+                deposit(in_channel.get(timeout=IDLE_TIMEOUT))
+                got = True
+            except queue_module.Empty:
+                return False
+        while True:
+            try:
+                deposit(in_channel.get_nowait())
+                got = True
+            except queue_module.Empty:
+                return got
+
+    try:
+        while True:
+            horizon = min(promise_in.values()) if peers else math.inf
+            progressed, external = advance_cluster(
+                cluster, plan, lookahead, horizon=horizon, until=until
+            )
+            batches: Dict[int, List[Envelope]] = {}
+            for envelope in external:
+                owner = owner_of_region[region_of(envelope.dst)]
+                if owner == worker_id:
+                    raise SimulationError(  # pragma: no cover - defensive
+                        "cluster-internal envelope escaped the cluster"
+                    )
+                batches.setdefault(owner, []).append(envelope)
+            next_t = min(region.next_time() for region in cluster)
+            done = next_t > until and horizon > until
+            # Output LBTS: a future envelope of ours is triggered either
+            # by a local event (>= next_t) or by an envelope we have not
+            # yet received (>= horizon), and then crosses one link.
+            floor = min(next_t, horizon)
+            my_promise = (
+                math.inf if done or floor == math.inf
+                else floor + lookahead
+            )
+            blocked = not progressed and not done
+            for p in peers:
+                batch = batches.get(p)
+                new_promise = max(promise_out[p], my_promise)
+                if batch:
+                    _safe_put(out_channels[p], (worker_id, batch, new_promise))
+                    promise_out[p] = new_promise
+                elif new_promise > promise_out[p] and (blocked or done):
+                    _safe_put(out_channels[p], (worker_id, None, new_promise))
+                    promise_out[p] = new_promise
+                    nulls_sent += 1
+            if done:
+                break
+            if blocked:
+                arrived = drain(block=True)
+                if not arrived:
+                    # Idle-timeout fallback: re-announce the promises in
+                    # case a null raced a peer's horizon computation.
+                    for p in peers:
+                        if promise_out[p] > -math.inf:
+                            _safe_put(
+                                out_channels[p],
+                                (worker_id, None, promise_out[p]),
+                            )
+                            nulls_sent += 1
+            else:
+                drain(block=False)
+        # Everything at or below `until` is processed; align clocks with
+        # the flat run's inclusive `run(until)` semantics.
+        for region in cluster:
+            if region.env.now < until:
+                region.env.run(until=until)
+        stats = {
+            "nulls_sent": nulls_sent,
+            "envelopes": sum(r.network.envelopes_out for r in cluster),
+            "windows": sum(r.windows for r in cluster),
+        }
+        result_channel.put(
+            ("ok", worker_id, stats, _collect_all(cluster, collect))
+        )
+    except BaseException as error:  # pragma: no cover - worker crash path
+        result_channel.put(("error", worker_id, repr(error), {}))
+        raise
+
+
+def run_partitioned(
+    plan: RegionPlan,
+    until: Optional[float] = None,
+    jobs: Optional[int] = 1,
+    collect: Optional[Callable[[Region], Any]] = None,
+) -> Dict[str, Any]:
+    """Drive a bound :class:`RegionPlan` to ``until``.
+
+    ``jobs=1`` (or an unavailable ``fork``, or an open-ended run) uses
+    the in-process coupled driver; ``jobs>1`` forks
+    ``min(jobs, n_regions)`` workers, each owning a round-robin cluster
+    of regions.  Returns a stats document with ``mode`` / ``jobs`` /
+    ``envelopes`` / ``nulls_sent`` / ``windows`` / ``collected``
+    (region index → ``collect(region)``, gathered inside the owning
+    process so forked state is observable to the caller).
+    """
+    global _last_partitioned_mode
+    if plan.regions is None:
+        raise SimulationError("plan is not bound to regions (RegionPlan.bind)")
+    regions = plan.regions
+    n_workers = min(resolve_jobs(jobs), plan.n_regions)
+    if n_workers > 1 and until is None:
+        warnings.warn(
+            "run_partitioned(until=None) has no distributed termination "
+            "detection; falling back to the in-process coupled driver",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if n_workers > 1 and not _fork_available():  # pragma: no cover - platform
+        warnings.warn(
+            "fork start method unavailable; running regions in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if n_workers <= 1 or until is None or not _fork_available():
+        mode = "coupled" if n_workers <= 1 else "coupled-fallback"
+        document = run_coupled(plan, until=until)
+        document["mode"] = mode
+        document["collected"] = _collect_all(regions, collect)
+        _last_partitioned_mode = mode
+        return document
+
+    context = multiprocessing.get_context("fork")
+    clusters: List[List[Region]] = [[] for _ in range(n_workers)]
+    owner_of_region: Dict[int, int] = {}
+    for position, region in enumerate(regions):
+        clusters[position % n_workers].append(region)
+        owner_of_region[region.index] = position % n_workers
+    channels = [context.Queue(_CHANNEL_DEPTH) for _ in range(n_workers)]
+    result_channel = context.Queue()
+    lookahead = min(
+        extract_lookahead(region.network.latency) for region in regions
+    )
+    workers = []
+    for worker_id, cluster in enumerate(clusters):
+        out_channels = {
+            p: channels[p] for p in range(n_workers) if p != worker_id
+        }
+        process = context.Process(
+            target=_worker_loop,
+            args=(worker_id, cluster, plan, until, lookahead,
+                  owner_of_region, channels[worker_id], out_channels,
+                  result_channel, collect),
+            daemon=True,
+        )
+        process.start()
+        workers.append(process)
+
+    stats = {"nulls_sent": 0, "envelopes": 0, "windows": 0}
+    collected: Dict[int, Any] = {}
+    failures: List[str] = []
+    pending = set(range(n_workers))
+    try:
+        while pending:
+            try:
+                status, worker_id, payload, gathered = result_channel.get(
+                    timeout=IDLE_TIMEOUT
+                )
+            except queue_module.Empty:
+                dead = [
+                    w for w, process in enumerate(workers)
+                    if w in pending and not process.is_alive()
+                ]
+                if dead:
+                    raise SimulationError(
+                        f"region workers {dead} died without reporting"
+                    )
+                continue
+            pending.discard(worker_id)
+            if status != "ok":
+                failures.append(f"worker {worker_id}: {payload}")
+                continue
+            for key in stats:
+                stats[key] += payload[key]
+            collected.update(gathered)
+    finally:
+        for process in workers:
+            process.join(timeout=5.0)
+        for process in workers:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+    if failures:
+        raise SimulationError(
+            "partitioned run failed: " + "; ".join(failures)
+        )
+    _last_partitioned_mode = "forked"
+    return {
+        "mode": "forked",
+        "jobs": n_workers,
+        "collected": collected,
+        **stats,
+    }

@@ -644,6 +644,57 @@ class Environment:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._scheduler.peek()
 
+    def schedule_external(self, time: float, eid: int, entry: Any) -> None:
+        """Queue ``entry`` under an externally-assigned ``(time, eid)``.
+
+        The region-sharding layer (:mod:`repro.sim.regions`) uses this
+        to inject cross-region envelopes under *canonical* negative
+        eids, so their position among same-timestamp local entries is a
+        pure function of ``(time, src_region, seq)`` — never of when
+        the envelope happened to arrive.  ``entry`` must be schedulable
+        (``_process`` + ``_cancelled``), like any queue event.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot inject at t={time} (now={self._now})"
+            )
+        self._push((time, eid, entry))
+
+    def run_partitioned(
+        self,
+        plan: Any = None,
+        until: Optional[float] = None,
+        jobs: Optional[int] = 1,
+    ) -> dict:
+        """Run a region-partitioned scenario (ROADMAP item 3's
+        conservative-synchronization option).
+
+        With no plan — or a single-region one — this *is* ``run``:
+        the ordinary single-process engine, zero overhead.  Otherwise
+        the plan must be bound to per-region environments
+        (:meth:`repro.sim.regions.RegionPlan.bind`, with this
+        environment one of them) and the partitioned driver takes over:
+        in-process coupled windows for ``jobs=1``, forked workers with
+        null-message synchronization for ``jobs>1``.  Returns the sync
+        stats document (``mode``/``envelopes``/``nulls_sent``/...).
+        """
+        if plan is None or plan.n_regions <= 1:
+            self.run(until=until)
+            return {"mode": "single", "jobs": 1, "envelopes": 0,
+                    "nulls_sent": 0, "windows": 0}
+        if plan.regions is None:
+            raise SimulationError(
+                "plan is not bound to regions (RegionPlan.bind)"
+            )
+        if all(region.env is not self for region in plan.regions):
+            raise SimulationError(
+                "this environment is not one of the plan's region "
+                "environments"
+            )
+        from ..runtime.regionpool import run_partitioned as _run
+
+        return _run(plan, until=until, jobs=jobs)
+
     def step(self) -> None:
         """Pop exactly one queue entry, advancing time to it.
 

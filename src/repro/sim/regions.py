@@ -1,0 +1,567 @@
+"""Region-sharded conservative simulation: plans, envelopes, coupling.
+
+ROADMAP item 3's last lever: one *huge* scenario split across K regions,
+each with its own :class:`~repro.sim.engine.Environment`, scheduler and
+:class:`RegionalNetwork`, synchronized conservatively (Chandy-Misra-
+Bryant).  The wide-area model makes this natural — manager groups and
+the hosts that front them form regions, and the non-zero inter-region
+link latency is exactly the *lookahead* a null-message protocol needs.
+
+The pieces here are process-agnostic; :mod:`repro.runtime.regionpool`
+adds the forked workers and the IPC null-message channels on top.
+
+Determinism contract
+--------------------
+Cross-region deliveries are sequenced by ``(time, src_region, seq)``:
+every envelope is injected into the destination queue under a
+*canonical* negative event id (:func:`envelope_eid`), so all envelopes
+at a timestamp sort before every locally-scheduled entry at that
+timestamp (local eids count up from zero) and among themselves by
+``(src_region, seq)``.  A region's event sequence is therefore a pure
+function of the envelopes it receives — never of window boundaries,
+promise timing, process interleaving, or the number of worker
+processes.  That is the whole proof that ``jobs=N`` is byte-identical
+to ``jobs=1`` for the same :class:`RegionPlan`.
+
+Conservative windows
+--------------------
+A region may only process events strictly below its *horizon* — the
+minimum over in-channels of the peer's promised lower bound on future
+envelope times (LBTS + lookahead).  Windows are executed with the
+engine's ordinary ``run(until=...)`` fast loop on a bound nudged one
+ulp below the horizon, so the per-event cost inside a window is exactly
+the single-process engine's.  Cross-region latency must be strictly
+positive (checked at send time): zero-lookahead channels would deadlock
+the protocol and break the tie canonicalization.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .engine import Environment, SimulationError
+from .network import LatencyModel, Network, _Delivery
+from .node import Address
+from .trace import TraceKind
+
+__all__ = [
+    "ENVELOPE_EID_BASE",
+    "Envelope",
+    "envelope_eid",
+    "RegionPlan",
+    "RegionalLatency",
+    "RegionalNetwork",
+    "Region",
+    "extract_lookahead",
+    "advance_cluster",
+    "run_coupled",
+    "merge_region_traces",
+    "canonical_trace",
+]
+
+#: Base for canonical envelope event ids.  Locally scheduled entries
+#: use eids counting up from zero, so any negative eid sorts first at
+#: its timestamp; the offset encodes ``(src_region, seq)`` to realise
+#: the ``(time, region_id, seq)`` delivery order of the contract.
+ENVELOPE_EID_BASE = -(1 << 62)
+
+_SEQ_BITS = 40
+
+
+def envelope_eid(src_region: int, seq: int) -> int:
+    """The canonical queue eid for a cross-region envelope."""
+    if seq >= (1 << _SEQ_BITS):  # pragma: no cover - 10^12 envelopes
+        raise SimulationError("cross-region sequence number overflow")
+    return ENVELOPE_EID_BASE + (src_region << _SEQ_BITS) + seq
+
+
+class Envelope(NamedTuple):
+    """One timestamped cross-region message in flight."""
+
+    time: float  # delivery time (send time + sampled latency)
+    src_region: int
+    seq: int  # per-source-region monotone counter
+    src: Address
+    dst: Address
+    message: Any
+
+
+class RegionPlan:
+    """Assignment of node addresses onto ``K`` regions.
+
+    The default construction maps explicit addresses; subclasses may
+    override :meth:`region_of` for arithmetic schemes (e.g. parsing a
+    shard-group prefix).  ``n_regions == 1`` is the degenerate plan:
+    :meth:`Environment.run_partitioned` short-circuits it to the plain
+    single-process engine with zero overhead.
+    """
+
+    def __init__(
+        self,
+        n_regions: int,
+        assignment: Union[
+            None, Mapping[Address, int], Callable[[Address], int]
+        ] = None,
+    ):
+        if n_regions < 1:
+            raise ValueError(f"need at least one region, got {n_regions}")
+        self.n_regions = n_regions
+        self._table: Optional[Dict[Address, int]] = None
+        self._fn: Optional[Callable[[Address], int]] = None
+        if callable(assignment):
+            self._fn = assignment
+        elif assignment is not None:
+            self._table = dict(assignment)
+            bad = {a: r for a, r in self._table.items()
+                   if not 0 <= r < n_regions}
+            if bad:
+                raise ValueError(f"region indices out of range: {bad}")
+        #: Bound :class:`Region` objects (set by the scenario layer via
+        #: :meth:`bind`); required before a partitioned run can start.
+        self.regions: Optional[List["Region"]] = None
+
+    @classmethod
+    def by_groups(cls, groups: Sequence[Iterable[Address]]) -> "RegionPlan":
+        """One region per address group (the shard-group default)."""
+        table: Dict[Address, int] = {}
+        for index, group in enumerate(groups):
+            for address in group:
+                table[address] = index
+        return cls(len(groups), table)
+
+    def region_of(self, address: Address) -> int:
+        """Region index owning ``address``; raises for unknown ones."""
+        if self._table is not None:
+            try:
+                return self._table[address]
+            except KeyError:
+                raise ValueError(
+                    f"address {address!r} is not covered by the region plan"
+                ) from None
+        if self._fn is not None:
+            return self._fn(address)
+        return 0
+
+    def bind(self, regions: Sequence["Region"]) -> "RegionPlan":
+        """Attach the built per-region simulation halves to the plan."""
+        regions = list(regions)
+        if len(regions) != self.n_regions:
+            raise ValueError(
+                f"plan has {self.n_regions} regions, got {len(regions)}"
+            )
+        self.regions = regions
+        return self
+
+    def __repr__(self) -> str:
+        return f"<RegionPlan K={self.n_regions}>"
+
+
+class RegionalLatency(LatencyModel):
+    """Constant intra-region / inter-region latency keyed by a plan.
+
+    Deliberately *constant* on both legs: a partitioned run's network
+    must consume no randomness, or the single shared draw stream of the
+    K=1 reference would diverge from the per-region streams.  The
+    inter-region delay is the protocol's lookahead and must be > 0.
+    """
+
+    def __init__(self, plan: RegionPlan, intra: float = 0.01,
+                 inter: float = 0.08):
+        if intra < 0:
+            raise ValueError("intra-region latency must be non-negative")
+        if inter <= 0:
+            raise ValueError(
+                "inter-region latency must be strictly positive (it is "
+                "the conservative lookahead)"
+            )
+        self.plan = plan
+        self.intra = intra
+        self.inter = inter
+
+    def sample(self, rng, src: Address, dst: Address) -> float:
+        same = self.plan.region_of(src) == self.plan.region_of(dst)
+        return self.intra if same else self.inter
+
+    def constant_delay(self) -> Optional[float]:
+        return self.intra if self.intra == self.inter else None
+
+    def min_delay(self) -> float:
+        return min(self.intra, self.inter)
+
+    def cross_min_delay(self) -> float:
+        """Minimum latency of any inter-region link (the lookahead)."""
+        return self.inter
+
+
+def extract_lookahead(latency: LatencyModel) -> float:
+    """The conservative lookahead a latency model supports.
+
+    Prefers an explicit ``cross_min_delay`` (region-aware models), then
+    ``min_delay`` (the floor of any link).  Must be strictly positive —
+    a zero floor means a message could arrive "now", leaving no window
+    in which a region can safely run ahead.
+    """
+    cross = getattr(latency, "cross_min_delay", None)
+    floor = cross() if cross is not None else latency.min_delay()
+    if floor is None or floor <= 0:
+        raise ValueError(
+            f"latency model {latency!r} has no positive minimum delay; "
+            "conservative synchronization needs lookahead > 0"
+        )
+    return floor
+
+
+class RegionalNetwork(Network):
+    """One region's half of the partitioned network.
+
+    Local destinations take the ordinary :class:`Network` path —
+    identical checks, traces, counters and scheduling.  A destination
+    owned by another region gets the same *source-side* bookkeeping
+    (sent counter, ``msg_sent`` trace, up/connectivity/loss checks) and
+    then leaves the region as a timestamped :class:`Envelope` in
+    ``outbox`` instead of a local queue entry; the driver routes it and
+    the owning region injects it under the canonical eid.
+    """
+
+    def __init__(self, env: Environment, region: int, plan: RegionPlan,
+                 **kwargs: Any):
+        super().__init__(env, **kwargs)
+        self.region = region
+        self.plan = plan
+        #: Envelopes produced since the driver last drained them.
+        self.outbox: List[Envelope] = []
+        self._cross_seq = itertools.count()
+        #: Cross-region traffic counters (the "real" messages the
+        #: null-message overhead ratio is measured against).
+        self.envelopes_out = 0
+        self.envelopes_in = 0
+
+    # -- cross-region send path ------------------------------------------------
+    def _send_cross(self, src: Address, dst: Address, message: Any) -> None:
+        """Source-side half of a cross-region unicast."""
+        src_node = self.nodes.get(src)
+        if src_node is None:
+            raise ValueError(f"unknown source {src!r}")
+        self.messages_sent += 1
+        tracer = self.tracer
+        if tracer.wants(TraceKind.MSG_SENT):
+            tracer.publish(
+                TraceKind.MSG_SENT, src, dst=dst,
+                message_kind=type(message).__name__,
+            )
+        else:
+            tracer.bump(TraceKind.MSG_SENT)
+        if not src_node.up:
+            self._drop(src, dst, message, "source down")
+            return
+        if not self._connected(src, dst):
+            self._drop(src, dst, message, "partitioned")
+            return
+        rng = self.rng
+        if self.loss_rate > 0 and rng.random() < self.loss_rate:
+            self._drop(src, dst, message, "random loss")
+            return
+        copies = 1
+        if self.duplicate_rate > 0 and rng.random() < self.duplicate_rate:
+            copies = 2
+            self.messages_duplicated += 1
+        fixed = self._fixed_delay
+        for _ in range(copies):
+            delay = (
+                fixed if fixed is not None
+                else self.latency.sample(rng, src, dst)
+            )
+            if delay <= 0:
+                raise SimulationError(
+                    f"cross-region latency must be > 0 (got {delay} for "
+                    f"{src!r} -> {dst!r}); zero lookahead deadlocks the "
+                    "null-message protocol"
+                )
+            self.envelopes_out += 1
+            self.outbox.append(
+                Envelope(self.env.now + delay, self.region,
+                         next(self._cross_seq), src, dst, message)
+            )
+
+    def send(self, src: Address, dst: Address, message: Any) -> None:
+        if self.plan.region_of(dst) == self.region:
+            super().send(src, dst, message)
+        else:
+            self._send_cross(src, dst, message)
+
+    def send_many(self, src, items, on_sent=None) -> None:
+        items = list(items)
+        region_of = self.plan.region_of
+        if all(region_of(dst) == self.region for dst, _ in items):
+            super().send_many(src, items, on_sent)
+            return
+        # Mixed or fully remote batch: per-pair sends keep the
+        # per-destination bookkeeping order identical to the flat run.
+        for dst, message in items:
+            self.send(src, dst, message)
+            if on_sent is not None:
+                on_sent(dst, message)
+
+    def multicast(self, src, dsts, message) -> None:
+        dsts = list(dsts)
+        region_of = self.plan.region_of
+        if all(region_of(dst) == self.region for dst in dsts):
+            super().multicast(src, dsts, message)
+            return
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    # -- cross-region receive path --------------------------------------------
+    def inject(self, envelope: Envelope) -> None:
+        """Queue a received envelope under its canonical eid.
+
+        Must be called before the region's clock passes the envelope's
+        delivery time — the conservative driver's whole job.
+        """
+        self.envelopes_in += 1
+        self.env.schedule_external(
+            envelope.time,
+            envelope_eid(envelope.src_region, envelope.seq),
+            _Delivery(self, envelope.src, envelope.dst, envelope.message),
+        )
+
+
+class Region:
+    """One region's simulation half plus its conservative bookkeeping."""
+
+    __slots__ = ("index", "env", "network", "pending", "payload", "windows")
+
+    def __init__(self, index: int, env: Environment,
+                 network: RegionalNetwork, payload: Any = None):
+        self.index = index
+        self.env = env
+        self.network = network
+        #: Envelopes received but not yet safe to inject (their time is
+        #: at or past the last executed window bound).
+        self.pending: List[Envelope] = []
+        #: Scenario-layer attachment (workloads, checkers, collectors).
+        self.payload = payload
+        #: Number of ``run(until=...)`` windows executed.
+        self.windows = 0
+
+    def next_time(self) -> float:
+        """Lower bound on this region's next processed event time."""
+        t = self.env.peek()
+        for envelope in self.pending:
+            if envelope.time < t:
+                t = envelope.time
+        return t
+
+    def _inject_through(self, bound: float) -> None:
+        """Inject every pending envelope with ``time <= bound``."""
+        if not self.pending:
+            return
+        keep: List[Envelope] = []
+        inject = self.network.inject
+        for envelope in self.pending:
+            if envelope.time <= bound:
+                if envelope.time < self.env.now:
+                    raise SimulationError(
+                        f"causality violation: envelope at t={envelope.time}"
+                        f" arrived after region {self.index} reached "
+                        f"t={self.env.now}"
+                    )
+                inject(envelope)
+            else:
+                keep.append(envelope)
+        self.pending = keep
+
+    def run_window(self, bound: float, inclusive: bool = False) -> None:
+        """Advance through every event with ``time < bound``
+        (``<= bound`` when ``inclusive``), injecting due envelopes
+        first.  The engine's fast loop does the actual stepping."""
+        env = self.env
+        limit = bound if inclusive else math.nextafter(bound, -math.inf)
+        self._inject_through(limit)
+        if limit >= env.now:
+            self.windows += 1
+            env.run(until=limit)
+
+
+def _route_outboxes(
+    regions: Sequence[Region], by_index: Dict[int, Region],
+    region_of: Callable[[Address], int],
+) -> List[Envelope]:
+    """Move produced envelopes to their owners; return the external ones
+    (destinations owned by regions not present in ``by_index``)."""
+    external: List[Envelope] = []
+    for region in regions:
+        outbox = region.network.outbox
+        if not outbox:
+            continue
+        for envelope in outbox:
+            target = by_index.get(region_of(envelope.dst))
+            if target is None:
+                external.append(envelope)
+            else:
+                target.pending.append(envelope)
+        outbox.clear()
+    return external
+
+
+def advance_cluster(
+    regions: Sequence[Region],
+    plan: RegionPlan,
+    lookahead: float,
+    horizon: float = math.inf,
+    until: Optional[float] = None,
+) -> Tuple[bool, List[Envelope]]:
+    """Run a set of co-resident regions as far as conservatively safe.
+
+    ``horizon`` is the *exclusive* bound promised by regions outside
+    this set (``inf`` when the set is the whole plan).  Within the set
+    exact next-event times are known: the region with the globally
+    minimal ``(next_time, index)`` runs a window bounded by the
+    runner-up's next event, the horizon, and — crucially — its own
+    *echo bound* ``t + 2 * lookahead``: a message this window sends at
+    time ``s >= t`` crosses to a peer no earlier than ``s + lookahead``
+    and any causal reply returns no earlier than ``s + 2 * lookahead``,
+    so nothing triggered by the window itself can land inside it.
+    Returns ``(progressed, external_envelopes)``.
+    """
+    by_index = {region.index: region for region in regions}
+    region_of = plan.region_of
+    progressed = False
+    while True:
+        # Route first: deposits from the previous window (or from
+        # setup-time sends issued outside any window) must be visible
+        # to the next-event scan, and external envelopes must ship
+        # before any further window runs.
+        external = _route_outboxes(regions, by_index, region_of)
+        if external:
+            return progressed, external
+        best = None
+        runner_up = math.inf
+        for region in regions:
+            t = region.next_time()
+            if best is None or (t, region.index) < best[:2]:
+                if best is not None:
+                    runner_up = min(runner_up, best[0])
+                best = (t, region.index, region)
+            else:
+                runner_up = min(runner_up, t)
+        assert best is not None
+        t, _index, region = best
+        if t >= horizon or t == math.inf:
+            return progressed, []
+        if until is not None and t > until:
+            return progressed, []
+        bound = min(runner_up, horizon, t + 2.0 * lookahead)
+        if until is not None and until < bound:
+            # Nothing anywhere below `bound` but this region's events in
+            # [t, until]; run inclusively to `until` like the flat run.
+            region.run_window(until, inclusive=True)
+        elif t < bound:
+            region.run_window(bound)
+        else:
+            # Tie: the runner-up also has its next event at exactly
+            # ``t`` (< horizon).  Process this region's events at ``t``
+            # inclusively — safe, because every peer has handled all
+            # events strictly below ``t`` and cross-region latency is
+            # strictly positive, so nothing at ``t`` elsewhere can
+            # influence events at ``t`` here.
+            region.run_window(t, inclusive=True)
+        progressed = True
+
+
+def run_coupled(
+    plan: RegionPlan, until: Optional[float] = None
+) -> Dict[str, Any]:
+    """Drive every region of a bound plan in one process.
+
+    The ``jobs=1`` reference driver: same envelopes, same canonical
+    eids, same per-region event sequences as the forked
+    :func:`repro.runtime.regionpool.run_partitioned` — only the window
+    schedule differs, which the determinism contract makes unobservable.
+    """
+    if plan.regions is None:
+        raise SimulationError("plan is not bound to regions (plan.bind)")
+    regions = plan.regions
+    lookahead = min(
+        extract_lookahead(region.network.latency) for region in regions
+    )
+    while True:
+        progressed, external = advance_cluster(
+            regions, plan, lookahead, horizon=math.inf, until=until
+        )
+        if external:
+            raise SimulationError(
+                f"envelopes addressed outside the plan: {external[:3]!r}"
+            )
+        if all(region.next_time() == math.inf for region in regions):
+            break
+        if until is not None and all(
+            region.next_time() > until for region in regions
+        ):
+            break
+        if not progressed:  # pragma: no cover - defensive
+            raise SimulationError("coupled driver made no progress")
+    if until is not None:
+        for region in regions:
+            if region.env.now < until:
+                region.env.run(until=until)
+    envelopes = sum(r.network.envelopes_out for r in regions)
+    return {
+        "mode": "coupled",
+        "jobs": 1,
+        "envelopes": envelopes,
+        "nulls_sent": 0,
+        "windows": sum(r.windows for r in regions),
+    }
+
+
+# -- canonical trace merging --------------------------------------------------
+
+def merge_region_traces(
+    logs: Sequence[Sequence[Any]],
+    key_of: Optional[Callable[[Any], int]] = None,
+) -> List[Any]:
+    """Merge per-region trace logs into the canonical global order.
+
+    Records are sorted by ``(time, canonical key, local position)`` —
+    the stable sort keeps each region's publication order inside a
+    timestamp.  ``key_of`` maps a record to its canonical key (default:
+    the region's position in ``logs``); scenario layers pass a
+    group-of-record function so the merged order is comparable across
+    different K.
+    """
+    tagged = []
+    for region_index, log in enumerate(logs):
+        for position, record in enumerate(log):
+            key = key_of(record) if key_of is not None else region_index
+            tagged.append((record.time, key, region_index, position, record))
+    tagged.sort(key=lambda item: item[:4])
+    return [item[4] for item in tagged]
+
+
+def canonical_trace(
+    log: Sequence[Any], key_of: Callable[[Any], int]
+) -> List[Any]:
+    """Reorder a single-process trace log into the canonical
+    ``(time, key)`` order (stable within a key), making it directly
+    comparable with :func:`merge_region_traces` output."""
+    tagged = [
+        (record.time, key_of(record), position, record)
+        for position, record in enumerate(log)
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    return [item[3] for item in tagged]

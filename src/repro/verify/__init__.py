@@ -29,6 +29,7 @@ from .invariants import (
     FreezeWindowInvariant,
     Invariant,
     InvariantChecker,
+    InvariantCounters,
     InvariantViolation,
     QuorumIntersectionInvariant,
     TeBoundInvariant,
@@ -46,6 +47,7 @@ from .fuzz import FuzzReport, FuzzResult, run_cell, run_fuzz, shrink_schedule
 __all__ = [
     "Invariant",
     "InvariantChecker",
+    "InvariantCounters",
     "InvariantViolation",
     "TeBoundInvariant",
     "FreezeWindowInvariant",

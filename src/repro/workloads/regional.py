@@ -1,0 +1,693 @@
+"""Region-sharded mega deployment: one scenario, K processes.
+
+The scenario layer over :mod:`repro.sim.regions` /
+:mod:`repro.runtime.regionpool`: ``G`` self-contained *groups* — each a
+manager group with its own application, hosts, population, and
+workloads, in the shape of the paper's wide-area regions — mapped onto
+``K`` regions by a :class:`~repro.sim.regions.RegionPlan`.  Traffic is
+mostly intra-group (low latency); each group additionally drives a
+remote-access stream against its neighbour group's application over the
+high-latency inter-group links, which is exactly the cross-region
+traffic the null-message protocol synchronizes.
+
+Determinism contract
+--------------------
+The construction is *group-scoped* so the same scenario can run at any
+``K``, byte-identical:
+
+* every random stream is keyed by group (``g{g}/access``,
+  ``g{g}/update``, ...), never by region or process;
+* latency depends on the *group* pair (``intra`` within a group,
+  ``inter`` across), never on the region layout, so K=1 and K=4 sample
+  the same delays;
+* the network consumes no randomness (constant latencies, zero
+  loss/duplication), so sharing one rng in flat mode draws nothing;
+* updates and revocations touch only uids in ``[stable, N)`` of the
+  issuing group's own population, while remote accessors sample only
+  the never-updated ``[0, stable)`` range — so a region's invariant
+  verdicts about remote traffic need no cross-region update knowledge
+  (each region's checker learns the seed thresholds out of band via
+  :meth:`~repro.verify.InvariantChecker.observe_seed_range`).
+
+``regions=1`` builds one flat :class:`~repro.sim.engine.Environment`
+and one plain :class:`~repro.sim.network.Network` — the existing
+single-process engine, zero overhead.  ``regions=K`` builds K
+environments joined by :class:`~repro.sim.regions.RegionalNetwork`;
+``run(jobs=N)`` then drives them coupled in-process (``N=1``) or over
+forked workers (``N>1``).  The differential suite holds every mode to
+identical canonical traces, counts, and invariant verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.policy import AccessPolicy
+from ..core.wrapper import ApplicationHost
+from ..core.manager import AccessControlManager
+from ..sim.clock import ClockFactory
+from ..sim.engine import Environment
+from ..sim.network import LatencyModel, Network
+from ..sim.node import Address
+from ..sim.partitions import ScriptedConnectivity
+from ..sim.regions import Region, RegionPlan, RegionalNetwork
+from ..sim.rng import RngStreams
+from ..sim.trace import TraceKind, Tracer
+from ..sim.failures import schedule_crash, schedule_recovery
+from .generators import AccessWorkload, UpdateWorkload
+from .mega import ThresholdOracle, _seed_threshold
+from .population import UserPopulation
+
+__all__ = [
+    "GroupLatency",
+    "RegionalDeployment",
+    "group_of_address",
+    "group_of_record",
+    "merge_trace_tuples",
+    "run_regional_cell",
+]
+
+
+def group_of_address(address: Address) -> int:
+    """Group index encoded in a deployment address (``g<G>m<i>`` /
+    ``g<G>h<j>``); raises for foreign addresses."""
+    if not address.startswith("g"):
+        raise ValueError(f"not a regional address: {address!r}")
+    digits = []
+    for char in address[1:]:
+        if char.isdigit():
+            digits.append(char)
+        else:
+            break
+    if not digits:
+        raise ValueError(f"not a regional address: {address!r}")
+    return int("".join(digits))
+
+
+def _group_of_app(application: str) -> int:
+    if not application.startswith("svc"):
+        raise ValueError(f"not a regional application: {application!r}")
+    return int(application[3:])
+
+
+#: Delivery-side drop reasons: the record is published in the
+#: destination's region (with ``source=src``), so the canonical key
+#: must follow the destination too.
+_DST_SIDE_REASONS = ("destination down", "partitioned in flight")
+
+
+def group_of_record(kind: str, source: str, data: Dict[str, Any]) -> int:
+    """The canonical group key of one trace record.
+
+    A pure function of the record's fields, identical in flat and
+    partitioned runs, chosen so every record is keyed to the group in
+    whose region it is published — that makes ``(time, group, local
+    order)`` a total order both modes agree on.
+    """
+    if kind == TraceKind.MSG_DROPPED and data.get("reason") in _DST_SIDE_REASONS:
+        return group_of_address(data["dst"])
+    if source == "system":
+        return _group_of_app(data["application"])
+    if source == "scripted":
+        return group_of_address(data["a"])
+    return group_of_address(source)
+
+
+class GroupLatency(LatencyModel):
+    """Constant latency by *group* pair: ``intra`` within a group,
+    ``inter`` across groups — independent of how groups are mapped to
+    regions, so every K samples identical delays.  ``inter`` is the
+    cross-region lookahead and must be strictly positive."""
+
+    def __init__(self, intra: float = 0.01, inter: float = 0.08):
+        if intra < 0:
+            raise ValueError("intra-group latency must be non-negative")
+        if inter <= 0:
+            raise ValueError("inter-group latency must be positive")
+        self.intra = intra
+        self.inter = inter
+
+    def sample(self, rng: random.Random, src: Address, dst: Address) -> float:
+        same = group_of_address(src) == group_of_address(dst)
+        return self.intra if same else self.inter
+
+    def constant_delay(self) -> Optional[float]:
+        return self.intra if self.intra == self.inter else None
+
+    def min_delay(self) -> float:
+        return min(self.intra, self.inter)
+
+    def cross_min_delay(self) -> float:
+        """Valid lookahead because regions are unions of whole groups:
+        cross-region implies cross-group."""
+        return self.inter
+
+
+class _OffsetPopulation:
+    """Uniform sampler over uids ``[lo, len(base))`` of a name range —
+    the update workload's slice, disjoint from the remote-stable one."""
+
+    def __init__(self, base: UserPopulation, lo: int):
+        if not 0 <= lo < len(base):
+            raise ValueError("offset outside the population")
+        self._base = base
+        self._lo = lo
+
+    def __len__(self) -> int:
+        return len(self._base) - self._lo
+
+    def sample(self, rng: random.Random) -> str:
+        return self._base.name_of(self._lo + rng.randrange(len(self)))
+
+
+class _Fabric:
+    """One execution context (a region's, or the single flat one).
+
+    Doubles as the ``system`` adapter for workloads (they need
+    ``.env``) and for :class:`~repro.verify.InvariantChecker` (needs
+    ``env``/``tracer``/``applications``/``managers``/``hosts`` plus the
+    ``managers_for``/``n_managers_for`` routing hooks).  Routing
+    answers cover the *whole* deployment — policy lookups for remote
+    applications read static config on the owning group's manager
+    objects, which is safe across process boundaries because policies
+    never change after construction.
+    """
+
+    def __init__(self, deployment: "RegionalDeployment", env: Environment,
+                 tracer: Tracer, network: Network):
+        self._deployment = deployment
+        self.env = env
+        self.tracer = tracer
+        self.network = network
+        self.applications: Tuple[str, ...] = deployment.applications
+        self.managers: List[AccessControlManager] = []
+        self.hosts: List[ApplicationHost] = []
+        self.groups: List[int] = []
+        self.checker = None
+
+    def managers_for(self, application: str) -> List[AccessControlManager]:
+        return self._deployment.group_managers[_group_of_app(application)]
+
+    def n_managers_for(self, application: str) -> int:
+        return len(self.managers_for(application))
+
+
+class _GroupCell:
+    """Per-group mutable workload state and counters."""
+
+    def __init__(self, group: int):
+        self.group = group
+        self.counts = {
+            "attempts": 0, "allowed": 0, "denied": 0, "violations": 0,
+            "remote_attempts": 0, "remote_allowed": 0, "remote_denied": 0,
+            "remote_violations": 0,
+        }
+        self.workloads: List[AccessWorkload] = []
+        self.update: Optional[UpdateWorkload] = None
+
+
+#: A scripted fault event: ("crash", group, "host"|"manager", index,
+#: t_down, t_up) or ("partition", group, i, j, t_down, t_up) cutting
+#: the link between managers i and j of the group.  All faults are
+#: intra-group, so the schedule is expressible at any K.
+FaultEvent = Tuple[Any, ...]
+
+
+def _collect_fabric(region: Region) -> Dict[str, Any]:
+    """Gather one region's results *inside the owning process*."""
+    fabric: _Fabric = region.payload
+    return fabric._deployment._fabric_results(fabric)
+
+
+class RegionalDeployment:
+    """``G`` wide-area groups on ``K`` region-sharded processes."""
+
+    def __init__(
+        self,
+        groups: int = 4,
+        regions: Union[int, RegionPlan] = 1,
+        n_managers: int = 3,
+        n_hosts: int = 2,
+        population: int = 2_000,
+        granted_fraction: float = 0.6,
+        access_rate: float = 6.0,
+        remote_rate: float = 1.5,
+        update_rate: float = 0.3,
+        zipf_s: float = 1.0,
+        intra_latency: float = 0.01,
+        inter_latency: float = 0.08,
+        policy: Optional[AccessPolicy] = None,
+        clock_drift: bool = False,
+        seed: int = 0,
+        schedule: Sequence[FaultEvent] = (),
+        keep_trace_log: bool = False,
+        check_invariants: bool = True,
+        raise_on_violation: bool = True,
+        scheduler=None,
+    ):
+        if groups < 1:
+            raise ValueError("need at least one group")
+        if isinstance(regions, RegionPlan):
+            raise ValueError(
+                "pass regions as an int; the deployment builds its own plan"
+            )
+        if not 1 <= regions <= groups:
+            raise ValueError(f"regions must be in [1, {groups}]")
+        self.groups = groups
+        self.n_regions = regions
+        self.applications = tuple(f"svc{g}" for g in range(groups))
+        self.policy = policy or AccessPolicy(
+            check_quorum=min(2, n_managers), expiry_bound=120.0,
+            max_attempts=2, query_timeout=2.0,
+        )
+        self.policy.validate_for(n_managers)
+        self.seed = seed
+        self.keep_trace_log = keep_trace_log
+        streams = RngStreams(seed)
+
+        granted = int(population * granted_fraction)
+        #: Upper uid bound of the never-updated range remote accessors
+        #: sample; updates draw from ``[stable, population)`` only.
+        self.stable = max(1, min(granted, population // 4))
+        if self.stable >= population:
+            raise ValueError("population too small for a stable range")
+
+        region_of_group = [g % regions for g in range(groups)]
+        group_addrs = [
+            tuple(f"g{g}m{i}" for i in range(n_managers))
+            for g in range(groups)
+        ]
+        host_addrs = [
+            tuple(f"g{g}h{j}" for j in range(n_hosts))
+            for g in range(groups)
+        ]
+        assignment = {
+            addr: region_of_group[g]
+            for g in range(groups)
+            for addr in group_addrs[g] + host_addrs[g]
+        }
+        self.plan = RegionPlan(regions, assignment)
+        latency = GroupLatency(intra_latency, inter_latency)
+
+        # -- execution fabrics: one per region (one total when flat) --
+        self.fabrics: List[_Fabric] = []
+        self._regions: List[Region] = []
+        for r in range(regions):
+            env = Environment(scheduler=scheduler)
+            tracer = Tracer(env, keep_log=keep_trace_log)
+            connectivity = ScriptedConnectivity()
+            if regions == 1:
+                network: Network = Network(
+                    env, connectivity=connectivity, latency=latency,
+                    tracer=tracer, rng=streams.stream("network"),
+                )
+            else:
+                network = RegionalNetwork(
+                    env, r, self.plan, connectivity=connectivity,
+                    latency=latency, tracer=tracer,
+                    rng=streams.stream("network"),
+                )
+            fabric = _Fabric(self, env, tracer, network)
+            self.fabrics.append(fabric)
+            if regions > 1:
+                region = Region(r, env, network, payload=fabric)
+                self._regions.append(region)
+        if regions > 1:
+            self.plan.bind(self._regions)
+
+        # -- per-group construction (group-scoped randomness only) --
+        self.populations = [
+            UserPopulation(
+                population, zipf_s=zipf_s, sampler="harmonic",
+                prefix=f"g{g}u",
+            )
+            for g in range(groups)
+        ]
+        self.group_managers: List[List[AccessControlManager]] = []
+        self.group_hosts: List[List[ApplicationHost]] = []
+        self.cells: List[_GroupCell] = [_GroupCell(g) for g in range(groups)]
+        for g in range(groups):
+            fabric = self.fabrics[region_of_group[g]]
+            fabric.groups.append(g)
+            interner = self.populations[g].interner()
+            app = self.applications[g]
+            peer_app = self.applications[(g + 1) % groups]
+            members: List[AccessControlManager] = []
+            for addr in group_addrs[g]:
+                manager = AccessControlManager(
+                    addr, self.policy, interner=interner
+                )
+                manager.manage(app, group_addrs[g])
+                fabric.network.register(manager)
+                members.append(manager)
+                fabric.managers.append(manager)
+            self.group_managers.append(members)
+            clock_factory = ClockFactory(
+                fabric.env, b=self.policy.clock_bound,
+                rng=streams.stream(f"g{g}/clocks"),
+            )
+            hosts: List[ApplicationHost] = []
+            for addr in host_addrs[g]:
+                clock = (
+                    clock_factory.make() if clock_drift
+                    else clock_factory.perfect()
+                )
+                host = ApplicationHost(
+                    addr, self.policy,
+                    managers={
+                        app: group_addrs[g],
+                        peer_app: group_addrs[(g + 1) % groups],
+                    },
+                    clock=clock, interner=interner,
+                )
+                fabric.network.register(host)
+                fabric.hosts.append(host)
+                hosts.append(host)
+            self.group_hosts.append(hosts)
+
+        # -- invariant checkers: one per fabric, seed knowledge shared --
+        self.granted = granted
+        if check_invariants:
+            from ..verify import InvariantChecker
+
+            for fabric in self.fabrics:
+                fabric.checker = InvariantChecker(
+                    fabric, raise_on_violation=raise_on_violation
+                )
+        for g in range(groups):
+            owner = self.fabrics[region_of_group[g]]
+            _seed_threshold(owner, self.applications[g],
+                            self.populations[g], granted)
+        if check_invariants:
+            for fabric in self.fabrics:
+                for g in range(groups):
+                    fabric.checker.observe_seed_range(
+                        self.applications[g], f"g{g}u", granted
+                    )
+
+        # -- workloads ------------------------------------------------
+        self.oracles = [
+            ThresholdOracle(self.policy.expiry_bound,
+                            self.populations[g], granted)
+            for g in range(groups)
+        ]
+        for g in range(groups):
+            fabric = self.fabrics[region_of_group[g]]
+            cell = self.cells[g]
+            cell.workloads.append(AccessWorkload(
+                fabric, self.applications[g], self.populations[g],
+                self.oracles[g], rate=access_rate,
+                rng=streams.stream(f"g{g}/access"),
+                hosts=self.group_hosts[g],
+                on_decision=self._observer(cell, self.oracles[g],
+                                           remote=False),
+                keep_observations=False,
+            ))
+            if remote_rate > 0 and groups > 1:
+                peer = (g + 1) % groups
+                stable_pop = UserPopulation(
+                    self.stable, zipf_s=zipf_s, sampler="harmonic",
+                    prefix=f"g{peer}u",
+                )
+                frozen = ThresholdOracle(
+                    self.policy.expiry_bound, stable_pop,
+                    min(granted, self.stable),
+                )
+                cell.workloads.append(AccessWorkload(
+                    fabric, self.applications[peer], stable_pop, frozen,
+                    rate=remote_rate,
+                    rng=streams.stream(f"g{g}/remote"),
+                    hosts=self.group_hosts[g],
+                    on_decision=self._observer(cell, frozen, remote=True),
+                    keep_observations=False,
+                ))
+            if update_rate > 0:
+                cell.update = UpdateWorkload(
+                    fabric, self.applications[g],
+                    _OffsetPopulation(self.populations[g], self.stable),
+                    self.oracles[g], rate=update_rate,
+                    rng=streams.stream(f"g{g}/update"),
+                    managers=self.group_managers[g],
+                )
+        self._install_schedule(schedule, region_of_group)
+        self._last_run: Optional[Dict[str, Any]] = None
+
+    # -- construction helpers --------------------------------------------
+    @staticmethod
+    def _observer(cell: _GroupCell, oracle, remote: bool):
+        counts = cell.counts
+        prefix = "remote_" if remote else ""
+
+        def observe(obs) -> None:
+            counts[prefix + "attempts"] += 1
+            if obs.decision.allowed:
+                counts[prefix + "allowed"] += 1
+                if oracle.violation(obs.application, obs.user, obs.time):
+                    counts[prefix + "violations"] += 1
+            else:
+                counts[prefix + "denied"] += 1
+
+        return observe
+
+    def _install_schedule(
+        self, schedule: Sequence[FaultEvent], region_of_group: List[int]
+    ) -> None:
+        """Install scripted intra-group faults (identical at any K)."""
+        for event in schedule:
+            kind = event[0]
+            group = event[1]
+            fabric = self.fabrics[region_of_group[group]]
+            if kind == "crash":
+                _, _, role, index, t_down, t_up = event
+                pool = (
+                    self.group_hosts[group] if role == "host"
+                    else self.group_managers[group]
+                )
+                node = pool[index % len(pool)]
+                schedule_crash(fabric.env, node, t_down,
+                               tracer=fabric.tracer)
+                schedule_recovery(fabric.env, node, t_up,
+                                  tracer=fabric.tracer)
+            elif kind == "partition":
+                _, _, i, j, t_down, t_up = event
+                addrs = [m.address for m in self.group_managers[group]]
+                a = addrs[i % len(addrs)]
+                b = addrs[j % len(addrs)]
+                if a == b:
+                    continue
+                connectivity = fabric.network.connectivity
+                fabric.env.process(
+                    self._link_script(fabric.env, connectivity,
+                                      a, b, t_down, t_up),
+                    name=f"partition:g{group}",
+                )
+            else:
+                raise ValueError(f"unknown fault event kind {kind!r}")
+
+    @staticmethod
+    def _link_script(env, connectivity, a, b, t_down, t_up):
+        yield env.timeout(max(0.0, t_down - env.now))
+        connectivity.set_down(a, b)
+        yield env.timeout(max(0.0, t_up - env.now))
+        connectivity.set_up(a, b)
+
+    # -- running ----------------------------------------------------------
+    def run(self, until: float, jobs: Optional[int] = 1) -> Dict[str, Any]:
+        """Drive the deployment to ``until`` and return the merged
+        result document (identical content at any ``regions``/``jobs``
+        combination — that is the contract the differential suite
+        pins)."""
+        wall_start = time.perf_counter()
+        if self.n_regions == 1:
+            sync = self.fabrics[0].env.run_partitioned(None, until=until)
+            per_fabric = {0: self._fabric_results(self.fabrics[0])}
+        else:
+            from ..runtime.regionpool import run_partitioned
+
+            sync = run_partitioned(
+                self.plan, until=until, jobs=jobs, collect=_collect_fabric
+            )
+            per_fabric = sync.pop("collected")
+        document = self._merge_results(per_fabric, sync)
+        document["wall_seconds"] = round(time.perf_counter() - wall_start, 3)
+        self._last_run = document
+        return document
+
+    # -- result assembly ---------------------------------------------------
+    def _fabric_results(self, fabric: _Fabric) -> Dict[str, Any]:
+        """One fabric's picklable result payload (runs in the owning
+        process, where the post-run state lives)."""
+        network = fabric.network
+        result: Dict[str, Any] = {
+            "groups": list(fabric.groups),
+            "counts": {
+                g: dict(self.cells[g].counts) for g in fabric.groups
+            },
+            "updates": {
+                g: (
+                    (self.cells[g].update.adds, self.cells[g].update.revokes)
+                    if self.cells[g].update is not None else (0, 0)
+                )
+                for g in fabric.groups
+            },
+            "now": fabric.env.now,
+            "net": {
+                "sent": network.messages_sent,
+                "delivered": network.messages_delivered,
+                "dropped": network.messages_dropped,
+                "envelopes_out": getattr(network, "envelopes_out", 0),
+                "envelopes_in": getattr(network, "envelopes_in", 0),
+            },
+        }
+        if fabric.checker is not None:
+            violations = fabric.checker.finalize()
+            result["invariants"] = {
+                "counters": fabric.checker.counters(),
+                "violations": [str(v) for v in violations],
+            }
+        if self.keep_trace_log:
+            result["trace"] = [
+                (record.time, record.kind, record.source, dict(record.data))
+                for record in fabric.tracer.log
+            ]
+        return result
+
+    def _merge_results(
+        self, per_fabric: Dict[int, Dict[str, Any]], sync: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        counts: Dict[str, int] = {}
+        by_group: Dict[str, Dict[str, int]] = {}
+        updates = {"adds": 0, "revokes": 0}
+        net = {"sent": 0, "delivered": 0, "dropped": 0,
+               "envelopes_out": 0, "envelopes_in": 0}
+        counters = None
+        invariant_violations: List[str] = []
+        final_times: List[float] = []
+        logs: List[List[Tuple]] = []
+        for index in sorted(per_fabric):
+            payload = per_fabric[index]
+            for g, cell_counts in sorted(payload["counts"].items()):
+                by_group[str(g)] = dict(cell_counts)
+                for key, value in cell_counts.items():
+                    counts[key] = counts.get(key, 0) + value
+            for g, (adds, revokes) in payload["updates"].items():
+                updates["adds"] += adds
+                updates["revokes"] += revokes
+            for key in net:
+                net[key] += payload["net"][key]
+            final_times.append(payload["now"])
+            if "invariants" in payload:
+                fabric_counters = payload["invariants"]["counters"]
+                counters = (
+                    fabric_counters if counters is None
+                    else counters.merge(fabric_counters)
+                )
+                invariant_violations.extend(
+                    payload["invariants"]["violations"]
+                )
+            if "trace" in payload:
+                logs.append(payload["trace"])
+        document: Dict[str, Any] = {
+            "groups": self.groups,
+            "regions": self.n_regions,
+            "mode": sync.get("mode"),
+            "jobs": sync.get("jobs"),
+            "envelopes": sync.get("envelopes", 0),
+            "nulls_sent": sync.get("nulls_sent", 0),
+            "windows": sync.get("windows", 0),
+            "counts": counts,
+            "by_group": by_group,
+            "updates": updates,
+            "net": net,
+            "final_times": final_times,
+            "violations": counts.get("violations", 0)
+            + counts.get("remote_violations", 0),
+        }
+        if counters is not None:
+            document["invariant_counters"] = counters
+            document["invariant_violations"] = invariant_violations
+        if logs:
+            document["trace"] = merge_trace_tuples(logs)
+        return document
+
+
+def run_regional_cell(
+    n_principals: int = 100_000,
+    groups: int = 4,
+    regions: int = 1,
+    jobs: Optional[int] = None,
+    n_managers: int = 3,
+    n_hosts: int = 4,
+    duration: float = 200.0,
+    access_rate: float = 40.0,
+    remote_rate: float = 4.0,
+    update_rate: float = 0.2,
+    granted_fraction: float = 0.6,
+    zipf_s: float = 1.0,
+    seed: int = 0,
+    check_invariants: bool = False,
+) -> Dict[str, Any]:
+    """The mega-shaped *regional* cell: one wide-area scenario of
+    ``groups`` manager groups over ``regions`` region processes.
+
+    Rates are aggregate across groups (mirroring
+    :func:`~repro.workloads.mega.run_mega_cell`); the per-group
+    population is ``n_principals // groups``.  Returns a JSON-ready
+    result document; counts are identical at any ``regions``/``jobs``.
+    """
+    if jobs is None:
+        from ..runtime.pool import default_sim_jobs
+
+        jobs = default_sim_jobs()
+    per_group = max(2, n_principals // groups)
+    deployment = RegionalDeployment(
+        groups=groups,
+        regions=regions,
+        n_managers=n_managers,
+        n_hosts=n_hosts,
+        population=per_group,
+        granted_fraction=granted_fraction,
+        access_rate=access_rate / groups,
+        remote_rate=remote_rate / groups,
+        update_rate=update_rate / groups,
+        zipf_s=zipf_s,
+        seed=seed,
+        check_invariants=check_invariants,
+        raise_on_violation=False,
+    )
+    document = deployment.run(duration, jobs=jobs)
+    document["n_principals"] = per_group * groups
+    document["population_per_group"] = per_group
+    document["granted_per_group"] = deployment.granted
+    document["duration"] = duration
+    document["seed"] = seed
+    real = document["net"]["sent"]
+    document["nulls_per_real_msg"] = (
+        round(document["nulls_sent"] / real, 4) if real else 0.0
+    )
+    counters = document.pop("invariant_counters", None)
+    if counters is not None:
+        document["invariant_counters"] = counters.as_dict()
+        document["invariant_violations"] = len(
+            document.get("invariant_violations", [])
+        )
+    return document
+
+
+def merge_trace_tuples(
+    logs: Sequence[Sequence[Tuple]],
+) -> List[Tuple]:
+    """Merge per-fabric canonicalized trace tuples ``(time, kind,
+    source, data)`` into the canonical ``(time, group, local order)``
+    order — the tuple-payload counterpart of
+    :func:`~repro.sim.regions.merge_region_traces`, identical for a
+    given scenario at any region count."""
+    tagged = []
+    for fabric_pos, log in enumerate(logs):
+        for position, rec in enumerate(log):
+            key = group_of_record(rec[1], rec[2], rec[3])
+            tagged.append((rec[0], key, fabric_pos, position, rec))
+    tagged.sort(key=lambda item: item[:4])
+    return [item[4] for item in tagged]

@@ -336,3 +336,114 @@ class TestRetryGate:
         )
         assert rc == 1
         assert "retry" not in capsys.readouterr().out
+
+
+class TestSchedulerOverrideCoversRetries:
+    """Pin the fix for the ``--scheduler`` leak: the override must hold
+    through the regression re-measure retries and be restored on every
+    exit path, including exceptions mid-measurement."""
+
+    def test_retry_measurements_see_the_override(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.experiments import bench
+        from repro.experiments.bench import SCHEDULER_ENV_VAR
+
+        monkeypatch.setattr(bench, "BENCH_SCHEDULER", None)
+        monkeypatch.delenv(SCHEDULER_ENV_VAR, raising=False)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_SCHEMA,
+                    "benchmarks": {"reachable": {"median": 1e-9, "best": 1e-9}},
+                }
+            )
+        )
+        observed = []
+
+        def fake_run_suite(quick, repeats, names=None):
+            observed.append(
+                (bench.BENCH_SCHEDULER, os.environ.get(SCHEDULER_ENV_VAR))
+            )
+            return {
+                "schema": BENCH_SCHEMA,
+                "quick": quick,
+                "benchmarks": {
+                    "reachable": {
+                        "best": 1.0, "median": 1.0, "size": 1, "meta": {}
+                    }
+                },
+            }
+
+        monkeypatch.setattr(bench, "run_suite", fake_run_suite)
+        rc = bench.main(
+            [
+                "reachable",
+                "--quick",
+                "--repeats",
+                "1",
+                "--retries",
+                "2",
+                "--scheduler",
+                "heap",
+                "--baseline",
+                str(baseline),
+                "--no-artifact",
+            ]
+        )
+        assert rc == 1  # the impossible baseline still fails the gate
+        # Initial suite + both retry passes: every measurement ran with
+        # the override applied (previously retries ran after restore).
+        assert observed == [("heap", "heap")] * 3
+        assert bench.BENCH_SCHEDULER is None
+        assert SCHEDULER_ENV_VAR not in os.environ
+
+    def test_override_restores_on_exception(self, monkeypatch):
+        import os
+
+        from repro.experiments import bench
+        from repro.experiments.bench import (
+            SCHEDULER_ENV_VAR,
+            _scheduler_override,
+        )
+
+        monkeypatch.setattr(bench, "BENCH_SCHEDULER", None)
+        monkeypatch.setenv(SCHEDULER_ENV_VAR, "calendar")
+        with pytest.raises(KeyboardInterrupt):
+            with _scheduler_override("heap"):
+                assert bench.BENCH_SCHEDULER == "heap"
+                assert os.environ[SCHEDULER_ENV_VAR] == "heap"
+                raise KeyboardInterrupt
+        assert bench.BENCH_SCHEDULER is None
+        assert os.environ[SCHEDULER_ENV_VAR] == "calendar"
+
+    def test_no_override_is_a_noop(self, monkeypatch):
+        import os
+
+        from repro.experiments import bench
+        from repro.experiments.bench import (
+            SCHEDULER_ENV_VAR,
+            _scheduler_override,
+        )
+
+        monkeypatch.setattr(bench, "BENCH_SCHEDULER", None)
+        monkeypatch.delenv(SCHEDULER_ENV_VAR, raising=False)
+        with _scheduler_override(None):
+            assert bench.BENCH_SCHEDULER is None
+            assert SCHEDULER_ENV_VAR not in os.environ
+
+
+class TestParallelSimCell:
+    def test_meta_reports_speedup_and_null_overhead(self):
+        document = run_suite(
+            quick=True, repeats=1, names=["cell_parallel_sim"]
+        )
+        entry = document["benchmarks"]["cell_parallel_sim"]
+        assert entry["best"] > 0
+        meta = entry["meta"]
+        assert meta["regions"] == 4
+        assert meta["mode"] in ("forked", "coupled-fallback")
+        assert meta["speedup_vs_flat"] > 0
+        assert meta["nulls_sent"] > 0
+        assert 0 < meta["nulls_per_real_msg"] < 10

@@ -412,3 +412,42 @@ class TestMergeCounts:
 
     def test_empty(self):
         assert merge_counts([]) == ()
+
+
+class TestAvailableCpus:
+    """``available_cpus`` must reflect the CPUs this process may *use*
+    (the affinity mask a cgroup-limited CI runner pins), not the host's
+    raw core count — otherwise ``--jobs 0``/``--sim-jobs 0`` defaults
+    oversubscribe the container."""
+
+    def test_respects_affinity_mask(self, monkeypatch):
+        import os as os_module
+
+        import repro.runtime.pool as pool_module
+
+        monkeypatch.setattr(
+            os_module, "sched_getaffinity", lambda pid: {0, 2, 5},
+            raising=False,
+        )
+        monkeypatch.setattr(os_module, "cpu_count", lambda: 64)
+        assert pool_module.available_cpus() == 3
+
+    def test_empty_mask_clamps_to_one(self, monkeypatch):
+        import os as os_module
+
+        monkeypatch.setattr(
+            os_module, "sched_getaffinity", lambda pid: set(), raising=False
+        )
+        assert available_cpus() == 1
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        import os as os_module
+
+        def unavailable(pid):
+            raise AttributeError("no sched_getaffinity on this platform")
+
+        monkeypatch.setattr(
+            os_module, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(os_module, "cpu_count", lambda: 7)
+        assert available_cpus() == 7

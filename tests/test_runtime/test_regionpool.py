@@ -1,0 +1,142 @@
+"""Tests for the forked region-worker layer (runtime/regionpool.py).
+
+The load-bearing property, inherited from the rest of the runtime
+package: ``jobs=N`` returns exactly what ``jobs=1`` returns, for any
+``N`` — here extended to *within* one simulation run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.pool import _fork_available, default_sim_jobs
+from repro.runtime.regionpool import last_partitioned_mode, run_partitioned
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.node import Node
+from repro.sim.regions import Region, RegionPlan, RegionalLatency, RegionalNetwork
+from repro.sim.trace import Tracer
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+
+class _Echo(Node):
+    def __init__(self, address: str, peer: str, hops: int):
+        super().__init__(address)
+        self.peer = peer
+        self.hops = hops
+        self.log = []
+
+    def kick(self) -> None:
+        self.send(self.peer, ("ping", self.hops))
+
+    def handle_message(self, src, message) -> None:
+        self.log.append((self.env.now, src, message))
+        kind, hops = message
+        if hops > 0:
+            self.send(src, ("pong" if kind == "ping" else "ping", hops - 1))
+
+
+def _ring(n_regions: int, hops: int = 12):
+    names = [f"r{i}n" for i in range(n_regions)]
+    plan = RegionPlan.by_groups([[name] for name in names])
+    latency = RegionalLatency(plan, intra=0.01, inter=0.08)
+    regions, nodes = [], []
+    for i, name in enumerate(names):
+        env = Environment()
+        network = RegionalNetwork(
+            env, i, plan, latency=latency, tracer=Tracer(env)
+        )
+        node = _Echo(name, names[(i + 1) % n_regions], hops)
+        network.register(node)
+        region = Region(i, env, network, payload=node)
+        regions.append(region)
+        nodes.append(node)
+    plan.bind(regions)
+    nodes[0].kick()
+    return plan, regions, nodes
+
+
+def _collect_log(region: Region):
+    return list(region.payload.log)
+
+
+class TestCoupledPath:
+    def test_jobs_one_uses_coupled_driver(self):
+        plan, regions, nodes = _ring(2)
+        stats = run_partitioned(plan, until=5.0, jobs=1, collect=_collect_log)
+        assert stats["mode"] == "coupled"
+        assert last_partitioned_mode() == "coupled"
+        assert set(stats["collected"]) == {0, 1}
+        assert [region.env.now for region in regions] == [5.0, 5.0]
+
+    def test_unbound_plan_raises(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        with pytest.raises(SimulationError, match="not bound"):
+            run_partitioned(plan, until=1.0)
+
+    @needs_fork
+    def test_open_ended_multiworker_falls_back(self):
+        plan, regions, nodes = _ring(2, hops=4)
+        with pytest.warns(RuntimeWarning, match="termination"):
+            stats = run_partitioned(plan, until=None, jobs=2)
+        assert stats["mode"] == "coupled-fallback"
+        assert last_partitioned_mode() == "coupled-fallback"
+        assert sum(len(node.log) for node in nodes) == 5
+
+
+@needs_fork
+class TestForkedPath:
+    @pytest.mark.parametrize("n_regions,jobs", [(2, 2), (3, 2), (3, 3)])
+    def test_forked_matches_coupled(self, n_regions, jobs):
+        reference_plan, _, reference_nodes = _ring(n_regions)
+        run_partitioned(reference_plan, until=5.0, jobs=1)
+        reference_logs = [node.log for node in reference_nodes]
+
+        plan, regions, nodes = _ring(n_regions)
+        stats = run_partitioned(
+            plan, until=5.0, jobs=jobs, collect=_collect_log
+        )
+        assert stats["mode"] == "forked"
+        assert stats["jobs"] == jobs
+        # Post-run node state lives in the workers; observe it through
+        # the collect hook, gathered inside each owning process.
+        logs = [stats["collected"][i] for i in range(n_regions)]
+        assert logs == reference_logs
+        assert stats["envelopes"] > 0
+
+    def test_jobs_clamped_to_regions(self):
+        plan, regions, nodes = _ring(2)
+        stats = run_partitioned(plan, until=5.0, jobs=8, collect=_collect_log)
+        assert stats["jobs"] == 2
+
+    def test_worker_error_propagates(self):
+        plan, regions, nodes = _ring(2)
+
+        def explode(region: Region):
+            raise RuntimeError("collector boom")
+
+        with pytest.raises(SimulationError, match="collector boom"):
+            run_partitioned(plan, until=5.0, jobs=2, collect=explode)
+
+
+class TestDefaultSimJobs:
+    def test_unset_means_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_JOBS", raising=False)
+        assert default_sim_jobs() == 1
+
+    def test_env_value_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_JOBS", "3")
+        assert default_sim_jobs() == 3
+
+    def test_zero_means_all_cpus(self, monkeypatch):
+        from repro.runtime.pool import available_cpus
+
+        monkeypatch.setenv("REPRO_SIM_JOBS", "0")
+        assert default_sim_jobs() == available_cpus()
+
+    def test_garbage_warns_and_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_JOBS", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_SIM_JOBS"):
+            assert default_sim_jobs() == 1

@@ -1,0 +1,292 @@
+"""Unit tests for the region-sharded engine layer (sim/regions.py).
+
+The scenario here is a deliberately tiny ping-pong: two (or three)
+regions of one node each, every delivery answered with a reply until a
+hop budget runs out.  Small enough to reason about exactly, yet it
+exercises every seam — envelope sequencing, lookahead extraction,
+window bounds (including the echo bound), and the coupled driver.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.network import FixedLatency, UniformLatency
+from repro.sim.node import Node
+from repro.sim.regions import (
+    ENVELOPE_EID_BASE,
+    Envelope,
+    Region,
+    RegionPlan,
+    RegionalLatency,
+    RegionalNetwork,
+    canonical_trace,
+    envelope_eid,
+    extract_lookahead,
+    merge_region_traces,
+    run_coupled,
+)
+from repro.sim.trace import Tracer
+
+
+class _Echo(Node):
+    """Replies to every message until its hop counter is exhausted."""
+
+    def __init__(self, address: str, peer: str, hops: int):
+        super().__init__(address)
+        self.peer = peer
+        self.hops = hops
+        self.log = []
+
+    def kick(self) -> None:
+        self.send(self.peer, ("ping", self.hops))
+
+    def handle_message(self, src, message) -> None:
+        self.log.append((self.env.now, src, message))
+        kind, hops = message
+        if hops > 0:
+            self.send(src, ("pong" if kind == "ping" else "ping", hops - 1))
+
+
+def _build(n_regions: int, hops: int = 8, inter: float = 0.08):
+    """``n_regions`` single-node regions in a reply ring."""
+    names = [f"r{i}n" for i in range(n_regions)]
+    plan = RegionPlan.by_groups([[name] for name in names])
+    latency = RegionalLatency(plan, intra=0.01, inter=inter)
+    regions = []
+    nodes = []
+    for i, name in enumerate(names):
+        env = Environment()
+        network = RegionalNetwork(
+            env, i, plan, latency=latency, tracer=Tracer(env)
+        )
+        node = _Echo(name, names[(i + 1) % n_regions], hops)
+        network.register(node)
+        regions.append(Region(i, env, network))
+        nodes.append(node)
+    plan.bind(regions)
+    return plan, regions, nodes
+
+
+def _flat(n_regions: int, hops: int = 8, inter: float = 0.08):
+    """The same ring in one environment, for differential checks."""
+    names = [f"r{i}n" for i in range(n_regions)]
+    plan = RegionPlan.by_groups([[name] for name in names])
+    latency = RegionalLatency(plan, intra=0.01, inter=inter)
+    env = Environment()
+    from repro.sim.network import Network
+
+    network = Network(env, latency=latency, tracer=Tracer(env))
+    nodes = [
+        network.register(_Echo(name, names[(i + 1) % n_regions], hops))
+        for i, name in enumerate(names)
+    ]
+    return env, nodes
+
+
+class TestRegionPlan:
+    def test_table_assignment_and_lookup(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        assert plan.region_of("a") == 0
+        assert plan.region_of("b") == 1
+        with pytest.raises(ValueError, match="not covered"):
+            plan.region_of("zzz")
+
+    def test_out_of_range_assignment_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            RegionPlan(2, {"a": 2})
+        with pytest.raises(ValueError, match="at least one region"):
+            RegionPlan(0)
+
+    def test_callable_assignment(self):
+        plan = RegionPlan(4, lambda address: int(address[1]) % 4)
+        assert plan.region_of("g3m0") == 3
+
+    def test_by_groups(self):
+        plan = RegionPlan.by_groups([["a", "b"], ["c"]])
+        assert plan.n_regions == 2
+        assert plan.region_of("c") == 1
+
+    def test_bind_arity_checked(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        with pytest.raises(ValueError, match="2 regions"):
+            plan.bind([])
+
+
+class TestEnvelopeSequencing:
+    def test_eids_negative_and_ordered(self):
+        """Envelope eids sort before any local eid (which count from 0)
+        and order by (src_region, seq) within a timestamp."""
+        eids = [
+            envelope_eid(region, seq)
+            for region in range(3)
+            for seq in range(3)
+        ]
+        assert all(eid < 0 for eid in eids)
+        assert eids == sorted(eids)
+        assert envelope_eid(0, 0) == ENVELOPE_EID_BASE
+
+    def test_envelope_fields(self):
+        envelope = Envelope(1.5, 0, 7, "a", "b", ("m",))
+        assert envelope.time == 1.5
+        assert envelope.dst == "b"
+
+
+class TestLookahead:
+    def test_regional_latency_cross_min(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        latency = RegionalLatency(plan, intra=0.01, inter=0.08)
+        assert latency.cross_min_delay() == 0.08
+        assert latency.min_delay() == 0.01
+        assert latency.constant_delay() is None
+        assert extract_lookahead(latency) == 0.08
+
+    def test_uniform_intra_has_constant_delay(self):
+        plan = RegionPlan(1, {"a": 0})
+        latency = RegionalLatency(plan, intra=0.05, inter=0.05)
+        assert latency.constant_delay() == 0.05
+
+    def test_inter_must_be_positive(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        with pytest.raises(ValueError):
+            RegionalLatency(plan, intra=0.01, inter=0.0)
+
+    def test_extract_falls_back_to_min_delay(self):
+        assert extract_lookahead(FixedLatency(0.05)) == 0.05
+        assert extract_lookahead(UniformLatency(0.02, 0.09)) == 0.02
+
+    def test_extract_rejects_zero_lookahead(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            extract_lookahead(FixedLatency(0.0))
+
+
+class TestRegionWindows:
+    def test_next_time_covers_pending_envelopes(self):
+        plan, regions, nodes = _build(2)
+        region = regions[0]
+        assert region.next_time() == math.inf
+        region.pending.append(Envelope(0.3, 1, 0, "r1n", "r0n", ("ping", 0)))
+        assert region.next_time() == 0.3
+
+    def test_causality_violation_detected(self):
+        plan, regions, nodes = _build(2)
+        region = regions[0]
+        region.env.run(until=1.0)
+        region.pending.append(Envelope(0.5, 1, 0, "r1n", "r0n", ("ping", 0)))
+        with pytest.raises(SimulationError, match="causality"):
+            region.run_window(2.0)
+
+    def test_window_is_exclusive_of_bound(self):
+        plan, regions, nodes = _build(2)
+        region = regions[0]
+
+        def sender():
+            nodes[0].kick()
+            yield region.env.timeout(0.0)
+
+        region.env.process(sender())  # process-start event at t=0
+        region.run_window(0.0)  # exclusive: nothing strictly before 0
+        assert not region.network.outbox
+        region.run_window(0.0, inclusive=True)
+        assert len(region.network.outbox) == 1
+
+
+class TestCoupledDriver:
+    @pytest.mark.parametrize("n_regions", [2, 3])
+    def test_matches_flat_run(self, n_regions):
+        plan, regions, nodes = _build(n_regions, hops=9)
+        nodes[0].kick()
+        stats = run_coupled(plan, until=10.0)
+        flat_env, flat_nodes = _flat(n_regions, hops=9)
+        flat_nodes[0].kick()
+        flat_env.run(until=10.0)
+        for node, flat_node in zip(nodes, flat_nodes):
+            assert node.log == flat_node.log
+        assert [region.env.now for region in regions] == [10.0] * n_regions
+        assert stats["mode"] == "coupled"
+        assert stats["envelopes"] == sum(
+            region.network.envelopes_out for region in regions
+        )
+
+    def test_until_truncates_identically(self):
+        plan, regions, nodes = _build(2, hops=50)
+        nodes[0].kick()
+        run_coupled(plan, until=1.0)
+        flat_env, flat_nodes = _flat(2, hops=50)
+        flat_nodes[0].kick()
+        flat_env.run(until=1.0)
+        assert nodes[0].log == flat_nodes[0].log
+        assert nodes[1].log == flat_nodes[1].log
+
+    def test_open_ended_run_drains(self):
+        plan, regions, nodes = _build(2, hops=5)
+        nodes[0].kick()
+        run_coupled(plan, until=None)
+        assert sum(len(node.log) for node in nodes) == 6  # kick + 5 replies
+
+    def test_unbound_plan_raises(self):
+        plan = RegionPlan(2, {"a": 0, "b": 1})
+        with pytest.raises(SimulationError, match="not bound"):
+            run_coupled(plan, until=1.0)
+
+
+class _Rec:
+    """Minimal record for the trace-merge helpers."""
+
+    __slots__ = ("time", "key")
+
+    def __init__(self, time, key):
+        self.time = time
+        self.key = key
+
+
+class TestTraceMerge:
+    def test_merge_is_order_of_time_key_position(self):
+        key_of = lambda record: record.key  # noqa: E731
+        a = [_Rec(0.0, 0), _Rec(1.0, 0), _Rec(1.0, 0)]
+        b = [_Rec(0.5, 1), _Rec(1.0, 1)]
+        merged = merge_region_traces([a, b], key_of=key_of)
+        assert [(r.time, r.key) for r in merged] == [
+            (0.0, 0), (0.5, 1), (1.0, 0), (1.0, 0), (1.0, 1)
+        ]
+
+    def test_canonical_trace_matches_merge(self):
+        key_of = lambda record: record.key  # noqa: E731
+        a = [_Rec(0.0, 0), _Rec(1.0, 0), _Rec(1.0, 0)]
+        b = [_Rec(0.5, 1), _Rec(1.0, 1)]
+        flat = [a[0], b[0], a[1], a[2], b[1]]
+        assert canonical_trace(flat, key_of) == merge_region_traces(
+            [a, b], key_of=key_of
+        )
+
+
+class TestEnvironmentSeam:
+    def test_run_partitioned_none_plan_is_plain_run(self):
+        env = Environment()
+        fired = []
+
+        def proc():
+            yield env.timeout(1.0)
+            fired.append(env.now)
+
+        env.process(proc())
+        stats = env.run_partitioned(None, until=5.0)
+        assert fired == [1.0]
+        assert env.now == 5.0
+        assert stats["mode"] == "single"
+        assert stats["nulls_sent"] == 0
+
+    def test_run_partitioned_requires_membership(self):
+        plan, regions, nodes = _build(2)
+        outsider = Environment()
+        with pytest.raises(SimulationError, match="not one of the plan"):
+            outsider.run_partitioned(plan, until=1.0)
+
+    def test_schedule_external_rejects_past(self):
+        env = Environment()
+        env.run(until=1.0)
+        with pytest.raises(SimulationError):
+            env.schedule_external(0.5, envelope_eid(0, 0), object())

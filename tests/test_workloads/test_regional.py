@@ -1,0 +1,222 @@
+"""Differential suite for the region-sharded deployment.
+
+The acceptance property of the whole parallel-simulation PR: for one
+scenario (same seed, same fault schedule), the flat single-process run,
+the coupled in-process partitioned run at any K, and the forked
+multi-worker run all produce **byte-identical** results — canonical
+trace, workload counts, network totals, final clocks, and
+invariant-oracle counters.  Hypothesis drives the scenario space
+(group/region counts, rates, crash/partition/revocation schedules);
+fixed-seed cases pin the forked path, which is too slow to fuzz.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runtime.pool import _fork_available
+from repro.verify import InvariantCounters
+from repro.workloads.regional import (
+    GroupLatency,
+    RegionalDeployment,
+    group_of_address,
+    group_of_record,
+    merge_trace_tuples,
+    run_regional_cell,
+)
+
+needs_fork = pytest.mark.skipif(
+    not _fork_available(), reason="fork start method unavailable"
+)
+
+
+def _run(groups, regions, jobs=1, schedule=(), seed=0, duration=12.0,
+         **overrides):
+    deployment = RegionalDeployment(
+        groups=groups,
+        regions=regions,
+        n_managers=overrides.pop("n_managers", 3),
+        n_hosts=overrides.pop("n_hosts", 2),
+        population=overrides.pop("population", 120),
+        access_rate=overrides.pop("access_rate", 4.0),
+        remote_rate=overrides.pop("remote_rate", 1.0),
+        update_rate=overrides.pop("update_rate", 0.4),
+        seed=seed,
+        schedule=schedule,
+        keep_trace_log=True,
+        raise_on_violation=False,
+        **overrides,
+    )
+    return deployment.run(duration, jobs=jobs)
+
+
+def _assert_identical(reference, candidate):
+    assert candidate["counts"] == reference["counts"]
+    assert candidate["by_group"] == reference["by_group"]
+    assert candidate["updates"] == reference["updates"]
+    for key in ("sent", "delivered", "dropped"):
+        assert candidate["net"][key] == reference["net"][key]
+    assert candidate["invariant_counters"] == reference["invariant_counters"]
+    assert (
+        candidate["invariant_violations"] == reference["invariant_violations"]
+    )
+    assert set(candidate["final_times"]) == set(reference["final_times"])
+    ref_trace, got_trace = reference["trace"], candidate["trace"]
+    assert len(got_trace) == len(ref_trace)
+    for index, (got, want) in enumerate(zip(got_trace, ref_trace)):
+        assert got == want, (
+            f"canonical trace diverges at record {index}:\n"
+            f"  got:  {got!r}\n  want: {want!r}"
+        )
+
+
+# ------------------------------------------------------------- strategies
+
+fault_events = st.one_of(
+    st.tuples(
+        st.just("crash"),
+        st.integers(0, 3),                      # group (clamped by caller)
+        st.sampled_from(["host", "manager"]),
+        st.integers(0, 3),                      # index (modulo pool size)
+        st.floats(0.5, 6.0),                    # down at
+        st.floats(6.5, 11.0),                   # up at
+    ),
+    st.tuples(
+        st.just("partition"),
+        st.integers(0, 3),
+        st.integers(0, 2),                      # manager i
+        st.integers(0, 2),                      # manager j
+        st.floats(0.5, 6.0),
+        st.floats(6.5, 11.0),
+    ),
+)
+
+
+@st.composite
+def scenarios(draw):
+    groups = draw(st.integers(2, 4))
+    k = draw(st.integers(2, 4).filter(lambda v: v <= groups))
+    schedule = [
+        event[:1] + (event[1] % groups,) + event[2:]
+        for event in draw(st.lists(fault_events, max_size=3))
+    ]
+    return {
+        "groups": groups,
+        "regions": k,
+        "seed": draw(st.integers(0, 2**16)),
+        "schedule": tuple(schedule),
+        "update_rate": draw(st.sampled_from([0.0, 0.4, 1.0])),
+    }
+
+
+class TestDifferentialProperty:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=scenarios())
+    def test_partitioned_matches_flat(self, scenario):
+        """K∈{2,3,4} coupled runs are byte-identical to the flat run
+        over random protocol-shaped schedules (crashes, partitions,
+        revocation workloads)."""
+        k = scenario.pop("regions")
+        flat = _run(regions=1, **scenario)
+        partitioned = _run(regions=k, **scenario)
+        _assert_identical(flat, partitioned)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_fixed_cases_all_ks(self, k):
+        schedule = (
+            ("crash", 1, "host", 0, 3.0, 8.0),
+            ("partition", 0, 0, 1, 2.0, 7.0),
+        )
+        flat = _run(groups=3, regions=1, schedule=schedule, seed=42)
+        partitioned = _run(groups=3, regions=k, schedule=schedule, seed=42)
+        _assert_identical(flat, partitioned)
+
+    @needs_fork
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_forked_matches_flat(self, jobs):
+        schedule = (("crash", 2, "manager", 1, 3.0, 8.0),)
+        flat = _run(groups=3, regions=1, schedule=schedule, seed=9)
+        forked = _run(groups=3, regions=3, jobs=jobs, schedule=schedule,
+                      seed=9)
+        assert forked["mode"] == "forked"
+        _assert_identical(flat, forked)
+
+    def test_clock_drift_mode_still_identical(self):
+        flat = _run(groups=2, regions=1, seed=3, clock_drift=True)
+        partitioned = _run(groups=2, regions=2, seed=3, clock_drift=True)
+        _assert_identical(flat, partitioned)
+
+
+class TestDocumentShape:
+    def test_flat_mode_is_single(self):
+        document = _run(groups=2, regions=1)
+        assert document["mode"] == "single"
+        assert document["nulls_sent"] == 0
+        assert document["regions"] == 1
+
+    def test_coupled_mode_reports_envelopes(self):
+        document = _run(groups=2, regions=2)
+        assert document["mode"] == "coupled"
+        assert document["envelopes"] > 0
+
+    def test_merged_counters_are_mergeable_instances(self):
+        document = _run(groups=3, regions=3)
+        counters = document["invariant_counters"]
+        assert isinstance(counters, InvariantCounters)
+        assert counters.total_records > 0
+        assert counters.total_violations == 0
+
+    def test_run_regional_cell_document(self):
+        document = run_regional_cell(
+            n_principals=400, groups=2, regions=2, jobs=1, duration=6.0,
+            access_rate=4.0, remote_rate=1.0, update_rate=0.2,
+            check_invariants=True,
+        )
+        for key in ("counts", "nulls_per_real_msg", "wall_seconds",
+                    "invariant_counters", "n_principals"):
+            assert key in document
+        import json
+
+        json.dumps(document)  # must be JSON-serializable as-is
+
+
+class TestConstruction:
+    def test_regions_bounded_by_groups(self):
+        with pytest.raises(ValueError, match=r"regions must be in"):
+            RegionalDeployment(groups=2, regions=3)
+
+    def test_group_latency_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            GroupLatency(intra=0.01, inter=0.0)
+
+    def test_group_of_address(self):
+        assert group_of_address("g12m3") == 12
+        assert group_of_address("g0h1") == 0
+        with pytest.raises(ValueError):
+            group_of_address("m3")
+
+    def test_group_of_record_special_sources(self):
+        assert group_of_record("grant_seeded", "system",
+                               {"application": "svc2"}) == 2
+        assert group_of_record("link_down", "scripted",
+                               {"a": "g1m0", "b": "g1m2"}) == 1
+        assert group_of_record(
+            "msg_dropped", "g0m1",
+            {"dst": "g3h0", "reason": "destination down"},
+        ) == 3
+        assert group_of_record(
+            "msg_dropped", "g0m1",
+            {"dst": "g3h0", "reason": "source down"},
+        ) == 0
+
+    def test_merge_trace_tuples_orders_by_time_group(self):
+        a = [(0.0, "k", "g0m0", {}), (1.0, "k", "g0m0", {})]
+        b = [(0.5, "k", "g1m0", {}), (1.0, "k", "g1m0", {})]
+        merged = merge_trace_tuples([a, b])
+        assert [record[0] for record in merged] == [0.0, 0.5, 1.0, 1.0]
+        assert merged[2][2] == "g0m0"  # group 0 before group 1 at a tie
