@@ -566,6 +566,190 @@ def bench_cell_parallel_sim(repeats: int) -> Dict[str, Any]:
     }
 
 
+def bench_wire_codec(messages: int) -> Dict[str, Any]:
+    """Binary vs tagged-JSON codec over the steady-state message mix.
+
+    Streams a deterministic QueryRequest/QueryResponse/RevokeNotify mix
+    (the shape a live cell's links carry once warm, with dense ``u<i>``
+    users) through both codecs, full encode+decode round trips, with
+    the binary side using one warmed session dictionary pair — exactly
+    the per-connection state a negotiated ``_BinLink`` holds.  The
+    gated elapsed is the *binary* leg; the JSON leg runs alongside so
+    the meta carries the A/B.  Two in-cell gates pin the win itself:
+    binary bytes must be at least 2.5x smaller and the binary round
+    trip at least 2x faster than JSON on this mix.
+    """
+    from ..core import messages as msg
+    from ..core.rights import Right, Version
+    from ..net.codec import decode_message, encode_message
+    from ..net.codec_bin import BinaryDecoder, BinaryEncoder
+
+    mix = []
+    for i in range(64):
+        user = f"u{i % 8}"
+        version = Version(1_700_000_000_000 + i, f"m{i % 3}")
+        mix.append(
+            msg.QueryRequest(
+                query_id=i, application="app", user=user, right=Right.USE
+            )
+        )
+        mix.append(
+            msg.QueryResponse(
+                query_id=i, application="app", user=user, right=Right.USE,
+                verdict="grant", te=float(i), version=version, manager=f"m{i % 3}",
+            )
+        )
+        mix.append(
+            msg.RevokeNotify(
+                application="app", user=user, right=Right.USE,
+                version=version, notify_id=i,
+            )
+        )
+
+    # JSON leg: stateless by design, nothing to warm.
+    started = time.perf_counter()
+    json_bytes = 0
+    for i in range(messages):
+        blob = encode_message(mix[i % len(mix)])
+        json_bytes += len(blob)
+        decode_message(blob)
+    json_elapsed = time.perf_counter() - started
+
+    # Binary leg: one session dictionary pair, warmed over the mix the
+    # way a live link warms on its first flush.
+    encoder, decoder = BinaryEncoder(), BinaryDecoder()
+    for message in mix:
+        decoder.decode(encoder.encode(message))
+    started = time.perf_counter()
+    bin_bytes = 0
+    for i in range(messages):
+        blob = encoder.encode(mix[i % len(mix)])
+        bin_bytes += len(blob)
+        decoder.decode(blob)
+    elapsed = time.perf_counter() - started
+
+    bytes_ratio = json_bytes / bin_bytes if bin_bytes else float("inf")
+    time_ratio = json_elapsed / elapsed if elapsed else float("inf")
+    assert bytes_ratio >= 2.5, (
+        f"binary codec must cut steady-state bytes at least 2.5x, got "
+        f"{bytes_ratio:.2f}x ({json_bytes} -> {bin_bytes} bytes)"
+    )
+    assert time_ratio >= 2.0, (
+        f"binary round trip must beat JSON at least 2x, got {time_ratio:.2f}x "
+        f"({json_elapsed:.3f}s JSON vs {elapsed:.3f}s binary)"
+    )
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "messages": messages,
+            "json_bytes": json_bytes,
+            "bin_bytes": bin_bytes,
+            "bytes_ratio": round(bytes_ratio, 2),
+            "json_seconds": round(json_elapsed, 4),
+            "time_ratio": round(time_ratio, 2),
+            "dictionary": encoder.dictionary_size,
+        },
+    }
+
+
+def bench_live_fanout(messages: int) -> Dict[str, Any]:
+    """Closed burst fan-out over real sockets on the binary fast path.
+
+    Two :class:`~repro.net.runtime.LiveRuntime` processes on localhost,
+    binary codec negotiated: one pinger bursts pings at eight responder
+    nodes sharing the far endpoint, and the cell times the wall clock
+    until every pong is back.  Each driver-pass flush coalesces the
+    burst into HMAC'd multi-message segments, so this gates the whole
+    live fast path — codec, interning dictionary, segment sealing,
+    frame reader, and the flush bound — end to end.  The meta records
+    the coalescing factor actually achieved on the wire.
+    """
+    import asyncio
+
+    from ..core.messages import Ping, Pong
+    from ..net.runtime import LiveRuntime
+    from ..sim.node import Node
+
+    n_sinks = 8
+
+    class _Pinger(Node):
+        def __init__(self):
+            super().__init__("pinger")
+            self.pongs = 0
+            self.done = asyncio.get_running_loop().create_future()
+
+        def handle_message(self, src, message):
+            if isinstance(message, Pong):
+                self.pongs += 1
+                if self.pongs >= messages and not self.done.done():
+                    self.done.set_result(None)
+
+    class _Responder(Node):
+        def handle_message(self, src, message):
+            if isinstance(message, Ping):
+                self.send(src, Pong(nonce=message.nonce, sender=self.address))
+
+    async def scenario():
+        left = LiveRuntime(b"bench-wire", time_scale=1.0, codec="binary")
+        right = LiveRuntime(b"bench-wire", time_scale=1.0, codec="binary")
+        pinger = _Pinger()
+        left.register(pinger)
+        for i in range(n_sinks):
+            right.register(_Responder(f"sink{i}"))
+        directory = {"pinger": ("127.0.0.1", await left.start())}
+        right_port = await right.start()
+        directory.update(
+            {f"sink{i}": ("127.0.0.1", right_port) for i in range(n_sinks)}
+        )
+        left.set_peers(directory)
+        right.set_peers(directory)
+        try:
+            # Warm the connections + dictionaries outside the window.
+            warm = asyncio.get_running_loop().create_future()
+            original = pinger.handle_message
+
+            def warm_handler(src, message):
+                if not warm.done():
+                    warm.set_result(None)
+
+            pinger.handle_message = warm_handler
+            left.call_soon(lambda: pinger.send("sink0", Ping(nonce=0, sender="pinger")))
+            await asyncio.wait_for(warm, timeout=10.0)
+            pinger.handle_message = original
+
+            def burst():
+                for i in range(messages):
+                    pinger.send(
+                        f"sink{i % n_sinks}", Ping(nonce=i + 1, sender="pinger")
+                    )
+
+            started = time.perf_counter()
+            left.call_soon(burst)
+            await asyncio.wait_for(pinger.done, timeout=60.0)
+            elapsed = time.perf_counter() - started
+            return elapsed, left.transport.wire_stats()
+        finally:
+            await left.stop()
+            await right.stop()
+
+    elapsed, wire = asyncio.run(scenario())
+    assert wire["codec"] == "binary"
+    assert wire["segment_msgs_sent"] >= messages
+    assert wire["msgs_per_segment"] > 1.0, (
+        f"fan-out failed to coalesce: {wire['msgs_per_segment']:.2f} msgs/segment"
+    )
+    return {
+        "elapsed": elapsed,
+        "meta": {
+            "messages": messages,
+            "fanout": n_sinks,
+            "segments_sent": wire["segments_sent"],
+            "msgs_per_segment": round(wire["msgs_per_segment"], 1),
+            "bytes_sent": wire["bytes_sent"],
+        },
+    }
+
+
 #: name -> (function, full-size argument, quick-size argument).
 BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "msg_send_deliver": (bench_msg_send_deliver, 120_000, 20_000),
@@ -580,6 +764,8 @@ BENCHMARKS: Dict[str, Tuple[Callable[[int], Dict[str, Any]], int, int]] = {
     "scheduler_churn": (bench_scheduler_churn, 150_000, 25_000),
     "batched_fanout": (bench_batched_fanout, 8_000, 1_500),
     "cell_parallel_sim": (bench_cell_parallel_sim, 3, 1),
+    "wire_codec": (bench_wire_codec, 200_000, 30_000),
+    "live_fanout": (bench_live_fanout, 20_000, 4_000),
 }
 
 

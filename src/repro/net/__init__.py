@@ -9,6 +9,8 @@ this package supplies the *socket* implementation of it:
   :class:`~repro.sim.network.Network` is the other implementation);
 * :mod:`repro.net.codec` — tagged-JSON wire codec and length-prefixed
   framing for every protocol message;
+* :mod:`repro.net.codec_bin` — the negotiated binary fast path: a
+  struct-packed codec with a per-session string-interning dictionary;
 * :mod:`repro.net.session` — HMAC-SHA256 session authentication with
   replay-nonce and expiry windows (per the sidecar auth ADR);
 * :mod:`repro.net.tcp` — :class:`SocketTransport`, frames over asyncio
@@ -43,6 +45,10 @@ __all__ = [
     "decode_message",
     "encode_frame",
     "FrameReader",
+    "encode_bin",
+    "decode_bin",
+    "BinaryEncoder",
+    "BinaryDecoder",
     "SessionAuth",
     "AuthError",
     "SocketTransport",
@@ -55,6 +61,10 @@ _LAZY = {
     "decode_message": "codec",
     "encode_frame": "codec",
     "FrameReader": "codec",
+    "encode_bin": "codec_bin",
+    "decode_bin": "codec_bin",
+    "BinaryEncoder": "codec_bin",
+    "BinaryDecoder": "codec_bin",
     "SessionAuth": "session",
     "AuthError": "session",
     "SocketTransport": "tcp",

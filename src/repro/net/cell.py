@@ -21,7 +21,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..auth.identity import Authenticator, Principal
 from ..core.manager import AccessControlManager
@@ -75,6 +75,14 @@ class LiveCell:
     ``Right.MANAGE`` on every application so ``repro load`` (and the
     admin path of the differential scenarios) can issue grants through
     the real :class:`~repro.protocols.admin.AdminService`.
+
+    ``codec`` selects each runtime's outbound wire codec — a single
+    name for the whole cell, or a mapping of node address -> codec for
+    a mixed cluster (unmapped addresses fall back to ``"json"``); every
+    link still negotiates per connection.  ``accept_binary`` likewise
+    takes one bool or a per-address mapping, and turns off the inbound
+    binary path (binary peers get a structured rejection and downgrade
+    to JSON on that link).
     """
 
     def __init__(
@@ -90,6 +98,8 @@ class LiveCell:
         sign_responses: bool = True,
         bind_host: str = "127.0.0.1",
         keep_log: bool = False,
+        codec: Union[str, Mapping[str, str]] = "json",
+        accept_binary: Union[bool, Mapping[str, bool]] = True,
     ) -> None:
         if n_managers < 1:
             raise ValueError("need at least one manager")
@@ -101,17 +111,24 @@ class LiveCell:
         self.lifetime = lifetime
         self.admin_user = admin_user
         self.bind_host = bind_host
+        self.codec = codec
         self.connectivity = LiveConnectivity()
         self.directory: Dict[str, Tuple[str, int]] = {}
         self._started = False
 
-        def make_runtime() -> LiveRuntime:
+        def make_runtime(addr: str) -> LiveRuntime:
             return LiveRuntime(
                 secret,
                 time_scale=self.time_scale,
                 lifetime=lifetime,
                 connectivity=self.connectivity,
                 keep_log=keep_log,
+                codec=codec if isinstance(codec, str) else codec.get(addr, "json"),
+                accept_binary=(
+                    accept_binary
+                    if isinstance(accept_binary, bool)
+                    else accept_binary.get(addr, True)
+                ),
             )
 
         self.manager_addrs = tuple(f"m{i}" for i in range(n_managers))
@@ -128,7 +145,7 @@ class LiveCell:
             manager = AccessControlManager(addr, self.policy, principal=principal)
             for app in self.applications:
                 manager.manage(app, self.manager_addrs)
-            runtime = make_runtime()
+            runtime = make_runtime(addr)
             runtime.register(manager)
             self.runtimes[addr] = runtime
             self.managers.append(manager)
@@ -143,7 +160,7 @@ class LiveCell:
             )
             for app in self.applications:
                 host.deploy(EchoApplication(app))
-            runtime = make_runtime()
+            runtime = make_runtime(host.address)
             runtime.register(host)
             self.runtimes[host.address] = runtime
             self.hosts.append(host)

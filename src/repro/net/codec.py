@@ -59,6 +59,11 @@ class FrameError(ValueError):
 #: an attack) and is rejected *before* it is buffered.
 MAX_FRAME = 1 << 20
 
+#: Consumed-prefix size at which :class:`FrameReader` compacts its
+#: buffer.  Below this the cursor just advances; one memmove per
+#: ~64 KiB consumed keeps steady-state cost O(bytes), not O(frames^2).
+_COMPACT_BYTES = 1 << 16
+
 #: Every dataclass that may appear on the wire, top-level or embedded.
 _WIRE_TYPES: List[Type[Any]] = [
     _messages.QueryRequest,
@@ -185,26 +190,45 @@ class FrameReader:
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        self._offset = 0
         self._poisoned = False
 
     def feed(self, data: bytes) -> List[bytes]:
         if self._poisoned:
             raise FrameError("reader poisoned by an earlier framing error")
         self._buffer.extend(data)
+        # Consume via a cursor and compact once per feed: deleting the
+        # head of the bytearray per frame would shift the whole tail
+        # each time — O(n^2) when one chunk carries thousands of small
+        # frames (exactly the coalesced-segment shape).
+        buffer = self._buffer
+        offset = self._offset
         frames: List[bytes] = []
-        while True:
-            if len(self._buffer) < 4:
-                return frames
-            (length,) = struct.unpack_from(">I", self._buffer)
-            if length == 0 or length > MAX_FRAME:
-                self._poisoned = True
-                raise FrameError(f"bad frame length {length}")
-            if len(self._buffer) < 4 + length:
-                return frames
-            frames.append(bytes(self._buffer[4 : 4 + length]))
-            del self._buffer[: 4 + length]
+        try:
+            while True:
+                if len(buffer) - offset < 4:
+                    return frames
+                (length,) = struct.unpack_from(">I", buffer, offset)
+                if length == 0 or length > MAX_FRAME:
+                    self._poisoned = True
+                    raise FrameError(f"bad frame length {length}")
+                if len(buffer) - offset < 4 + length:
+                    return frames
+                frames.append(bytes(buffer[offset + 4 : offset + 4 + length]))
+                offset += 4 + length
+        finally:
+            # Periodic compaction: drop the consumed prefix only when it
+            # is the whole buffer (free) or large enough to be worth one
+            # memmove; otherwise the cursor persists across feeds.
+            if offset == len(buffer):
+                del buffer[:]
+                offset = 0
+            elif offset >= _COMPACT_BYTES:
+                del buffer[:offset]
+                offset = 0
+            self._offset = offset
 
     @property
     def pending(self) -> int:
         """Bytes buffered awaiting a complete frame."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset

@@ -25,6 +25,7 @@ import argparse
 import asyncio
 import itertools
 import json
+import secrets
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -58,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="manage-right identity used to grant the client users")
     parser.add_argument("--time-scale", type=float, default=1.0,
                         help="client-side sim-seconds per wall-second")
+    parser.add_argument("--codec", choices=("json", "binary"), default="json",
+                        help="client-side wire codec preference (negotiated "
+                             "per connection; default json)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     return parser
@@ -78,6 +82,7 @@ async def run_load(
     user_prefix: str = "load-user",
     admin_user: str = "admin",
     time_scale: float = 1.0,
+    codec: str = "json",
 ) -> Dict[str, Any]:
     """Drive the cell; returns the report dict (pure-Python entry point)."""
     manager_addrs = sorted(a for a in directory if a.startswith("m"))
@@ -85,12 +90,19 @@ async def run_load(
     if not manager_addrs or not host_addrs:
         raise ValueError("directory must contain manager (m*) and host (h*) addresses")
 
-    runtime = LiveRuntime(secret, time_scale=time_scale)
-    admin = AdminClient("load-admin", admin_user)
+    # Client node addresses carry a per-run tag: the cell's session auth
+    # tracks replay nonces per sender name, so a second load run reusing
+    # the previous run's names would start its nonces over and be
+    # rejected wholesale as a replay.  Fresh names give each run a fresh
+    # nonce namespace (the protocol identities --admin-user/--user-prefix
+    # are unaffected).
+    tag = secrets.token_hex(3)
+    runtime = LiveRuntime(secret, time_scale=time_scale, codec=codec)
+    admin = AdminClient(f"load-{tag}-admin", admin_user)
     runtime.register(admin)
     clients: List[UserClient] = []
     for index in range(n_clients):
-        client = UserClient(f"load-c{index}", f"{user_prefix}-{index}")
+        client = UserClient(f"load-{tag}-c{index}", f"{user_prefix}-{index}")
         runtime.register(client)
         clients.append(client)
 
@@ -164,6 +176,7 @@ async def run_load(
                 },
             }
         )
+        report["wire"] = runtime.transport.wire_stats()
     finally:
         await runtime.stop()
     return report
@@ -182,6 +195,15 @@ def _print_report(report: Dict[str, Any]) -> None:
             f"p50={latency['p50']} p95={latency['p95']} p99={latency['p99']} "
             f"mean={latency['mean']} min={latency['min']} max={latency['max']}"
         )
+    wire = report.get("wire")
+    if wire:
+        print(
+            f"wire [{wire['codec']}]: "
+            f"sent={wire['bytes_sent']}B/{wire['frames_sent']}f "
+            f"recv={wire['bytes_received']}B/{wire['frames_received']}f "
+            f"segments={wire['segments_sent']}out/{wire['segments_received']}in "
+            f"msgs/segment={wire['msgs_per_segment']:.1f}"
+        )
     print(f"admin grants took {report['grant_seconds']}s")
 
 
@@ -198,6 +220,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             user_prefix=args.user_prefix,
             admin_user=args.admin_user,
             time_scale=args.time_scale,
+            codec=args.codec,
         )
     )
     if args.json:

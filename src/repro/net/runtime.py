@@ -50,6 +50,8 @@ class LiveRuntime:
         lifetime: float = DEFAULT_LIFETIME,
         connectivity: Optional[LiveConnectivity] = None,
         keep_log: bool = False,
+        codec: str = "json",
+        accept_binary: bool = True,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
@@ -57,7 +59,12 @@ class LiveRuntime:
         self.tracer = Tracer(self.env, keep_log=keep_log)
         self.time_scale = float(time_scale)
         self.transport = SocketTransport(
-            self, secret, lifetime=lifetime, connectivity=connectivity
+            self,
+            secret,
+            lifetime=lifetime,
+            connectivity=connectivity,
+            codec=codec,
+            accept_binary=accept_binary,
         )
         self.loop: Optional[asyncio.AbstractEventLoop] = None
         self._inbox: Deque[Tuple[str, str, Any]] = deque()
@@ -174,6 +181,11 @@ class LiveRuntime:
             # scheduled by the deliveries above when the clock has not
             # moved (run(until=now) processes this instant's queue).
             self.env.run(until=max(self.env.now, target))
+            # The explicit flush bound for the coalescing send path:
+            # everything this pass produced goes to the wire before the
+            # driver considers sleeping, so batching never adds latency
+            # beyond the driver iteration that produced the messages.
+            self.transport.flush()
             if self._calls or self._inbox or self._stopping:
                 continue
             next_at = self.env.peek()

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.policy import AccessPolicy
 from ..core.rights import Right
@@ -299,8 +299,13 @@ async def run_scenario_live(
     time_scale: float = 40.0,
     secret: bytes = DEFAULT_SECRET,
     lifetime: float = DEFAULT_LIFETIME,
+    codec: Any = "json",
 ) -> ScenarioOutcome:
-    """Execute ``scenario`` on the localhost TCP backend."""
+    """Execute ``scenario`` on the localhost TCP backend.
+
+    ``codec`` is forwarded to :class:`LiveCell` — a single codec name
+    or a per-address mapping for mixed-cluster differential runs.
+    """
     cell = LiveCell(
         n_managers=scenario.n_managers,
         n_hosts=scenario.n_hosts,
@@ -309,6 +314,7 @@ async def run_scenario_live(
         secret=secret,
         time_scale=time_scale,
         lifetime=lifetime,
+        codec=codec,
     )
     for user in scenario.seed_users:
         cell.seed_grant(APPLICATION, user)

@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated application names (default: app)")
     parser.add_argument("--time-scale", type=float, default=1.0,
                         help="sim-seconds per wall-second (default 1.0)")
+    parser.add_argument("--codec", choices=("json", "binary"), default="json",
+                        help="preferred outbound wire codec; every link still "
+                             "negotiates per connection (default json)")
+    parser.add_argument("--no-accept-binary", action="store_true",
+                        help="reject binary hellos (peers downgrade to JSON)")
     parser.add_argument("--run-for", type=float, default=None, metavar="SECONDS",
                         help="exit after this many wall seconds (default: run until signalled)")
     parser.add_argument("--check-quorum", type=int, default=None,
@@ -139,6 +144,8 @@ async def _serve_cell(args: argparse.Namespace, secret: bytes) -> int:
         policy=_policy(args, args.managers),
         secret=secret,
         time_scale=args.time_scale,
+        codec=args.codec,
+        accept_binary=not args.no_accept_binary,
     )
     for user, right in _parse_grants(args.grant):
         for app in applications:
@@ -167,7 +174,12 @@ async def _serve_node(args: argparse.Namespace, secret: bytes) -> int:
     applications = tuple(filter(None, args.apps.split(",")))
     policy = _policy(args, len(manager_set))
 
-    runtime = LiveRuntime(secret, time_scale=args.time_scale)
+    runtime = LiveRuntime(
+        secret,
+        time_scale=args.time_scale,
+        codec=args.codec,
+        accept_binary=not args.no_accept_binary,
+    )
     if args.role == "manager":
         node: object = AccessControlManager(
             args.address, policy, principal=cell_principal(args.address)

@@ -27,6 +27,14 @@ from repro.sim.trace import TraceKind
 
 SECRET = b"negative-path-secret"
 
+#: Frame-kind prefix for legacy JSON session frames (see repro.net.tcp).
+KIND_JSON = b"J"
+
+
+def _jframe(blob: bytes) -> bytes:
+    """A wire frame carrying one sealed JSON session blob."""
+    return encode_frame(KIND_JSON + blob)
+
 
 class Recorder(Node):
     def __init__(self, address):
@@ -132,15 +140,15 @@ class TestLiveServerSurvival:
 
                 # Tampered: flip one mac byte of an otherwise valid frame.
                 blob = client.seal("probe", "alpha", ping)
-                await fire(encode_frame(bytes([blob[0] ^ 0xFF]) + blob[1:]))
+                await fire(_jframe(bytes([blob[0] ^ 0xFF]) + blob[1:]))
 
                 # Replayed: the same sealed frame twice (first is valid).
                 blob = client.seal("probe", "alpha", ping)
-                await fire(encode_frame(blob), encode_frame(blob))
+                await fire(_jframe(blob), _jframe(blob))
 
                 # Expired: sealed by a clock a week in the past.
                 stale = SessionAuth(SECRET, clock=lambda: 0.0)
-                await fire(encode_frame(stale.seal("late", "alpha", ping)))
+                await fire(_jframe(stale.seal("late", "alpha", ping)))
 
                 # Truncated: a zero-length frame declaration.
                 await fire(struct.pack(">I", 0) + b"junk")
@@ -148,9 +156,12 @@ class TestLiveServerSurvival:
                 # Oversized: a length prefix beyond MAX_FRAME.
                 await fire(struct.pack(">I", MAX_FRAME + 1))
 
+                # Unknown frame kind: dropped, connection survives.
+                await fire(encode_frame(b"Z" + client.seal("probe", "alpha", ping)))
+
                 # The loop must still be serving: a fresh valid frame lands.
                 final = client.seal("probe", "alpha", ping)
-                await fire(encode_frame(final))
+                await fire(_jframe(final))
                 for _ in range(300):
                     if len(node.received) >= 2:
                         break

@@ -204,3 +204,33 @@ class TestFraming:
         reader = FrameReader()
         with pytest.raises(FrameError):
             reader.feed(struct.pack(">I", 0) + b"rest")
+
+    def test_many_small_frames_in_one_buffer_is_linear(self):
+        # Regression: the reader used to `del buffer[:n]` per frame,
+        # shifting the whole tail each time — O(n^2) over a chunk of
+        # 10k concatenated frames (exactly the coalesced-segment shape).
+        # With the offset cursor this completes in well under a second;
+        # the quadratic version took tens of seconds.
+        import time
+
+        bodies = [b"x%06d" % i for i in range(10_000)]
+        stream = b"".join(encode_frame(body) for body in bodies)
+        reader = FrameReader()
+        begin = time.perf_counter()
+        recovered = reader.feed(stream)
+        elapsed = time.perf_counter() - begin
+        assert recovered == bodies
+        assert reader.pending == 0
+        assert elapsed < 2.0, f"frame feed took {elapsed:.2f}s — compaction regressed"
+
+    def test_cursor_persists_across_feeds_with_partial_tail(self):
+        # A feed ending mid-frame leaves the partial bytes pending; the
+        # next feed completes it and pending returns to zero.
+        first = encode_frame(b"alpha")
+        second = encode_frame(b"beta")
+        reader = FrameReader()
+        got = reader.feed(first + second[:3])
+        assert got == [b"alpha"]
+        assert reader.pending == 3
+        assert reader.feed(second[3:]) == [b"beta"]
+        assert reader.pending == 0

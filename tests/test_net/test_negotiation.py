@@ -1,0 +1,218 @@
+"""Codec negotiation over real sockets: handshake, downgrade, coalescing.
+
+The handshake contract the binary fast path rides on:
+
+* two binary-preferring runtimes negotiate binary per connection and
+  coalesce same-flush fan-out into segments (one MAC, one write);
+* a binary client against a JSON-only server gets a *structured*
+  rejection — counted under the session's ``negotiation`` counter —
+  and downgrades that link to JSON with zero message loss;
+* a hello naming an unknown codec is rejected the same way, and the
+  connection keeps serving JSON frames afterwards (nothing poisons);
+* replayed binary segments are rejected by the per-segment nonce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.messages import Ping, Pong
+from repro.net.codec import FrameReader, encode_frame, encode_message
+from repro.net.runtime import LiveRuntime
+from repro.net.session import SessionAuth
+from repro.sim.node import Node
+
+SECRET = b"negotiation-secret"
+
+
+class RecorderNode(Node):
+    def __init__(self, address):
+        super().__init__(address)
+        self.received = []
+
+    def handle_message(self, src, message):
+        self.received.append((src, message))
+
+
+class ResponderNode(Node):
+    def handle_message(self, src, message):
+        if isinstance(message, Ping):
+            self.send(src, Pong(nonce=message.nonce, sender=self.address))
+
+
+class TestBinaryNegotiation:
+    def test_binary_pair_coalesces_fanout_into_segments(self):
+        async def scenario():
+            left = LiveRuntime(SECRET, time_scale=10.0, codec="binary")
+            right = LiveRuntime(SECRET, time_scale=10.0, codec="binary")
+            pinger = RecorderNode("alpha")
+            left.register(pinger)
+            for i in range(4):
+                right.register(ResponderNode(f"beta{i}"))
+            left_port = await left.start()
+            right_port = await right.start()
+            directory = {"alpha": ("127.0.0.1", left_port)}
+            directory.update({f"beta{i}": ("127.0.0.1", right_port) for i in range(4)})
+            left.set_peers(directory)
+            right.set_peers(directory)
+
+            def burst():
+                for round_no in range(10):
+                    for i in range(4):
+                        pinger.send(f"beta{i}", Ping(nonce=round_no * 4 + i, sender="alpha"))
+
+            left.call_soon(burst)
+            try:
+                for _ in range(500):
+                    if len(pinger.received) >= 40:
+                        break
+                    await asyncio.sleep(0.01)
+                return (
+                    len(pinger.received),
+                    left.transport.wire_stats(),
+                    right.transport.wire_stats(),
+                )
+            finally:
+                await left.stop()
+                await right.stop()
+
+        count, left_wire, right_wire = asyncio.run(scenario())
+        assert count == 40
+        # The 40-ping fan-out left alpha as segments, not 40 frames:
+        # coalescing packed a whole flush per endpoint per write.
+        assert left_wire["codec"] == "binary"
+        assert 0 < left_wire["segments_sent"] < 40
+        assert left_wire["segment_msgs_sent"] == 40
+        assert left_wire["msgs_per_segment"] > 1.0
+        # And the replies came back as segments from the other side.
+        assert right_wire["segment_msgs_sent"] == 40
+        assert left_wire["segments_received"] == right_wire["segments_sent"]
+
+    def test_binary_client_downgrades_against_json_only_server(self):
+        async def scenario():
+            client = LiveRuntime(SECRET, time_scale=10.0, codec="binary")
+            server = LiveRuntime(SECRET, time_scale=10.0, accept_binary=False)
+            pinger = RecorderNode("alpha")
+            ponger = ResponderNode("beta")
+            client.register(pinger)
+            server.register(ponger)
+            directory = {
+                "alpha": ("127.0.0.1", await client.start()),
+                "beta": ("127.0.0.1", await server.start()),
+            }
+            client.set_peers(directory)
+            server.set_peers(directory)
+            client.call_soon(lambda: pinger.send("beta", Ping(nonce=7, sender="alpha")))
+            try:
+                for _ in range(500):
+                    if pinger.received:
+                        break
+                    await asyncio.sleep(0.01)
+                return (
+                    list(pinger.received),
+                    dict(server.transport.auth.rejected),
+                    client.transport.wire_stats(),
+                    server.transport.messages_delivered,
+                )
+            finally:
+                await client.stop()
+                await server.stop()
+
+        received, rejected, client_wire, delivered = asyncio.run(scenario())
+        # The message arrived despite the rejection: the link downgraded.
+        assert received == [("beta", Pong(nonce=7, sender="beta"))]
+        assert delivered == 1
+        # Structured rejection, counted per kind in the session counters.
+        assert rejected["negotiation"] == 1
+        # Nothing travelled as a binary segment.
+        assert client_wire["segments_sent"] == 0
+
+    def test_unknown_codec_name_rejected_without_poisoning_connection(self):
+        async def scenario():
+            server = LiveRuntime(SECRET, time_scale=10.0, keep_log=True)
+            node = RecorderNode("alpha")
+            server.register(node)
+            port = await server.start()
+            transport = server.transport
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                client_auth = SessionAuth(SECRET)
+                # A hello naming a codec this build has never heard of.
+                hello = json.dumps({"codec": "msgpack-vX", "v": 1}).encode("utf-8")
+                writer.write(
+                    encode_frame(b"H" + client_auth.seal("probe", f"127.0.0.1:{port}", hello))
+                )
+                await writer.drain()
+                # Read the reject ack off the same (still healthy) stream.
+                frames = FrameReader()
+                ack_fields = None
+                while ack_fields is None:
+                    chunk = await asyncio.wait_for(reader.read(65536), timeout=5.0)
+                    assert chunk, "server closed the connection on a bad codec name"
+                    for body in frames.feed(chunk):
+                        assert body[0:1] == b"A"
+                        _, _, payload = client_auth.open(body[1:])
+                        ack_fields = json.loads(payload.decode("utf-8"))
+                # The connection still serves JSON frames afterwards.
+                ping = encode_message(Ping(nonce=1, sender="probe"))
+                writer.write(encode_frame(b"J" + client_auth.seal("probe", "alpha", ping)))
+                await writer.drain()
+                for _ in range(300):
+                    if node.received:
+                        break
+                    await asyncio.sleep(0.01)
+                writer.close()
+                return ack_fields, dict(transport.auth.rejected), list(node.received)
+            finally:
+                await server.stop()
+
+        ack, rejected, received = asyncio.run(scenario())
+        assert ack["accept"] is False
+        assert ack["codec"] == "json"
+        assert "msgpack-vX" in ack["reason"]
+        assert rejected["negotiation"] == 1
+        assert received == [("probe", Ping(nonce=1, sender="probe"))]
+
+    def test_replayed_segment_rejected_by_segment_nonce(self):
+        async def scenario():
+            client = LiveRuntime(SECRET, time_scale=10.0, codec="binary")
+            server = LiveRuntime(SECRET, time_scale=10.0)
+            pinger = RecorderNode("alpha")
+            ponger = ResponderNode("beta")
+            client.register(pinger)
+            server.register(ponger)
+            directory = {
+                "alpha": ("127.0.0.1", await client.start()),
+                "beta": ("127.0.0.1", await server.start()),
+            }
+            client.set_peers(directory)
+            server.set_peers(directory)
+            client.call_soon(lambda: pinger.send("beta", Ping(nonce=1, sender="alpha")))
+            try:
+                for _ in range(500):
+                    if pinger.received:
+                        break
+                    await asyncio.sleep(0.01)
+                # Replay the client's exact hello+segment bytes from a
+                # pirate connection: the hello's nonce was already seen.
+                assert pinger.received
+                before = dict(server.transport.auth.rejected)
+                replay_auth = SessionAuth(SECRET)
+                stale_hello = replay_auth.seal("alpha", "anything", b'{"codec":"binary","v":1}')
+                # A fresh SessionAuth restarts nonces at 1 — which the
+                # server has already seen from "alpha" — so this is a
+                # replay by construction.
+                _, writer = await asyncio.open_connection(*directory["beta"])
+                writer.write(encode_frame(b"H" + stale_hello))
+                await writer.drain()
+                await asyncio.sleep(0.3)
+                writer.close()
+                after = dict(server.transport.auth.rejected)
+                return before, after
+            finally:
+                await client.stop()
+                await server.stop()
+
+        before, after = asyncio.run(scenario())
+        assert after["replayed"] > before["replayed"]

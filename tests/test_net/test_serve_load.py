@@ -44,6 +44,33 @@ def test_load_generator_closed_loop_against_live_cell():
     _print_report(report)
 
 
+def test_load_generator_closed_loop_over_binary_codec():
+    # The same closed loop, negotiated onto the binary fast path on
+    # both sides: messages travel as coalesced segments and the report
+    # carries the wire counters the CLI prints.
+    async def scenario():
+        async with LiveCell(
+            n_managers=3, n_hosts=2, time_scale=20.0, codec="binary"
+        ) as cell:
+            return await run_load(
+                cell.directory,
+                cell.secret,
+                n_clients=2,
+                duration=0.5,
+                time_scale=20.0,
+                codec="binary",
+            )
+
+    report = asyncio.run(scenario())
+    assert report["requests"] > 0
+    assert set(report["outcomes"]) == {"ok"}
+    wire = report["wire"]
+    assert wire["codec"] == "binary"
+    assert wire["segments_sent"] > 0
+    assert wire["segment_msgs_sent"] >= report["requests"]
+    _print_report(report)
+
+
 def test_port_file_round_trip(tmp_path):
     path = tmp_path / "cell.json"
     path.write_text(json.dumps({"m0": ["127.0.0.1", 7100], "h0": ["127.0.0.1", 7200]}))
